@@ -1,0 +1,264 @@
+//! BaseKV: the run-to-completion baseline (§5.1).
+//!
+//! Identical substrate to μTPS — same reconfigurable RPC receive ring, same
+//! store, same batching and prefetching — but each worker executes the whole
+//! request monolithically: it polls its slots, traverses the index, copies
+//! data, and responds, all on one thread (NP-TPQ in the paper's taxonomy).
+//! Share-everything: any worker serves any key, so per-item locks and index
+//! node lines bounce between cores under skew, and the worker's index/data
+//! accesses evict its own network-buffer lines from the LLC — the two
+//! effects μTPS's layer split removes.
+
+use utps_core::client::{ClientProc, DriverState, KvWorld};
+use utps_core::experiment::{RunConfig, RunResult};
+use utps_core::msg::NetMsg;
+use utps_core::rpc::{send_response, RecvRing, RespBuffers};
+use utps_core::store::{KvOp, KvStore, OpBuffers};
+use utps_index::Step;
+use utps_sim::nic::Fabric;
+use utps_sim::time::SimTime;
+use utps_sim::{Ctx, Engine, Process, StatClass};
+use utps_workload::Op;
+
+/// BaseKV server world.
+pub struct BaseWorld {
+    /// Network fabric.
+    pub fabric: Fabric<NetMsg>,
+    /// Shared receive ring (reconfigurable RPC, same as μTPS).
+    pub ring: RecvRing,
+    /// Per-worker response buffers.
+    pub resp: RespBuffers,
+    /// The store (share-everything).
+    pub store: KvStore,
+    /// Worker count.
+    pub workers: usize,
+    /// Driver state.
+    pub driver: DriverState,
+    /// Responses sent.
+    pub responses: u64,
+}
+
+impl KvWorld for BaseWorld {
+    fn fabric_mut(&mut self) -> &mut Fabric<NetMsg> {
+        &mut self.fabric
+    }
+
+    fn driver_mut(&mut self) -> &mut DriverState {
+        &mut self.driver
+    }
+}
+
+struct ActiveOp {
+    seq: u64,
+    op: KvOp,
+}
+
+/// A run-to-completion worker.
+pub struct BaseWorker {
+    id: usize,
+    cursor: u64,
+    batch: usize,
+    ops: Vec<ActiveOp>,
+}
+
+impl BaseWorker {
+    /// Creates worker `id` of `n` with the given batch size.
+    pub fn new(id: usize, batch: usize) -> Self {
+        BaseWorker {
+            id,
+            cursor: id as u64,
+            batch: batch.max(1),
+            ops: Vec::new(),
+        }
+    }
+
+    fn build_op(world: &BaseWorld, id: usize, seq: u64) -> ActiveOp {
+        let req = world.ring.request(seq);
+        let bufs = OpBuffers {
+            recv_addr: world.ring.slot_addr(seq),
+            resp_addr: world.resp.addr_for(id, seq),
+        };
+        let op = match &req.op {
+            Op::Get { key } => KvOp::get(&world.store, *key, bufs),
+            Op::Put { key, .. } => {
+                let value = req.value.clone().expect("put without payload");
+                KvOp::put(&world.store, *key, value, bufs)
+            }
+            Op::Scan { key, count } => KvOp::scan(&world.store, *key, *count, Vec::new(), bufs),
+            Op::Delete { key } => KvOp::delete(&world.store, *key, bufs),
+        };
+        ActiveOp { seq, op }
+    }
+}
+
+impl Process<BaseWorld> for BaseWorker {
+    fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut BaseWorld) {
+        // Fill the batch: pump the NIC and claim owned slots.
+        if self.ops.is_empty() {
+            {
+                let now = ctx.now();
+                let m = ctx.machine();
+                world.ring.pump(&mut m.cache, &mut world.fabric, now, 8);
+            }
+            let n = world.workers as u64;
+            while self.ops.len() < self.batch && world.ring.is_posted(self.cursor) {
+                let seq = self.cursor;
+                self.cursor += n;
+                world.ring.claim(ctx, seq);
+                // Monolithic loop: parse→index→copy→respond front-end churn.
+                ctx.stage_transitions(3);
+                self.ops.push(Self::build_op(world, self.id, seq));
+            }
+            return;
+        }
+
+        // Run the batch to completion, interleaving the op FSMs so
+        // prefetches overlap (BaseKV keeps μTPS's batching+prefetching).
+        // Run-to-completion semantics (§2.2.2): a held lock BLOCKS the
+        // worker — it spins until the lock holder finishes, stalling every
+        // other stage on this thread.
+        let mut i = 0;
+        while i < self.ops.len() {
+            ctx.fsm_switch();
+            match self.ops[i].op.poll(ctx, &mut world.store) {
+                Step::Done(out) => {
+                    let finished = self.ops.swap_remove(i);
+                    let req = world.ring.request(finished.seq);
+                    let is_get = matches!(req.op, Op::Get { .. });
+                    let resp = utps_core::msg::Response {
+                        client: req.client,
+                        seq: req.seq,
+                        ok: out.ok,
+                        value: if is_get { out.value } else { None },
+                        scan_count: out.scan_count,
+                        payload_extra: if is_get { 0 } else { out.payload },
+                        resp_addr: 0,
+                        sent_at: req.sent_at,
+                    };
+                    let resp_addr = world.resp.addr_for(self.id, finished.seq);
+                    world.ring.abort(finished.seq);
+                    world.responses += 1;
+                    send_response(ctx, &mut world.fabric, resp_addr, resp);
+                }
+                Step::Ready => i += 1,
+                Step::Blocked => {
+                    // Stall the whole worker on this lock (spin charged by
+                    // the lock attempt); resume from this op next step.
+                    return;
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "basekv-worker"
+    }
+}
+
+/// Runs BaseKV under `cfg`. `isolate_ddio = true` reproduces the "TPQ+CAT"
+/// variant of Figure 2a: worker CLOS masks exclude the DDIO ways.
+pub fn run_basekv_opts(cfg: &RunConfig, isolate_ddio: bool) -> RunResult {
+    let populate_len = cfg.workload.populate_value_len();
+    let store = KvStore::populate(cfg.index, cfg.keys, populate_len);
+    let world = BaseWorld {
+        fabric: Fabric::new(cfg.machine.net.clone(), cfg.clients),
+        ring: RecvRing::new(cfg.ring_slots, cfg.slot_size),
+        resp: RespBuffers::new(cfg.workers, 64, 1152),
+        store,
+        workers: cfg.workers,
+        driver: DriverState::new(cfg.clients, SimTime(cfg.warmup)),
+        responses: 0,
+    };
+    let mut eng = Engine::new(cfg.machine.clone(), cfg.workers, world);
+    if isolate_ddio {
+        let full = eng.machine().cache.full_mask();
+        let ddio = eng.machine().cache.ddio_mask();
+        for w in 0..cfg.workers {
+            eng.machine().cache.set_clos_mask(w, full & !ddio);
+        }
+    }
+    for id in 0..cfg.workers {
+        eng.spawn(
+            Some(id),
+            StatClass::Other,
+            Box::new(BaseWorker::new(id, cfg.batch)),
+        );
+    }
+    for c in 0..cfg.clients {
+        let wl = cfg.workload.build(cfg.keys, cfg.seed, c as u64);
+        eng.spawn(
+            None,
+            StatClass::Other,
+            Box::new(ClientProc::new(c as u32, wl, cfg.pipeline)),
+        );
+    }
+    if cfg.timeline_interval > 0 {
+        eng.spawn(
+            None,
+            StatClass::Other,
+            Box::new(utps_core::client::SamplerProc::new(cfg.timeline_interval)),
+        );
+    }
+    eng.run_until(SimTime(cfg.warmup));
+    eng.machine().cache.metrics.reset();
+    eng.run_until(SimTime(cfg.warmup + cfg.duration));
+    crate::run::result_from_driver(cfg, &mut eng, |w| &w.driver)
+}
+
+/// Runs BaseKV under `cfg`.
+pub fn run_basekv(cfg: &RunConfig) -> RunResult {
+    run_basekv_opts(cfg, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use utps_core::experiment::WorkloadSpec;
+    use utps_index::IndexKind;
+    use utps_sim::config::MachineConfig;
+    use utps_sim::time::MICROS;
+    use utps_workload::Mix;
+
+    fn quick_cfg() -> RunConfig {
+        RunConfig {
+            keys: 20_000,
+            workers: 4,
+            clients: 8,
+            pipeline: 4,
+            warmup: 500 * MICROS,
+            duration: 1_500 * MICROS,
+            machine: MachineConfig::tiny(),
+            ..RunConfig::default()
+        }
+    }
+
+    #[test]
+    fn basekv_tree_end_to_end() {
+        let r = run_basekv(&quick_cfg());
+        assert!(r.completed > 500, "only {} completed", r.completed);
+        assert_eq!(r.not_found, 0);
+    }
+
+    #[test]
+    fn basekv_hash_with_scans_excluded() {
+        let cfg = RunConfig {
+            index: IndexKind::Hash,
+            workload: WorkloadSpec::Ycsb {
+                mix: Mix::A,
+                theta: 0.0,
+                value_len: 64,
+                scan_len: 50,
+            },
+            ..quick_cfg()
+        };
+        let r = run_basekv(&cfg);
+        assert!(r.completed > 500);
+        assert_eq!(r.not_found, 0);
+    }
+
+    #[test]
+    fn ddio_isolation_variant_runs() {
+        let r = run_basekv_opts(&quick_cfg(), true);
+        assert!(r.completed > 100);
+    }
+}

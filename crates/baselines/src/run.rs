@@ -1,0 +1,86 @@
+//! Unified dispatcher over every system in the evaluation.
+
+use utps_core::client::DriverState;
+use utps_core::experiment::{run_utps, RunConfig, RunResult, SystemKind};
+use utps_sim::time::SECS;
+use utps_sim::{Engine, StatClass};
+
+use crate::basekv::run_basekv;
+use crate::erpckv::run_erpckv;
+use crate::passive::{run_racehash, run_sherman};
+
+/// Runs `system` under `cfg`.
+pub fn run(system: SystemKind, cfg: &RunConfig) -> RunResult {
+    match system {
+        SystemKind::Utps => run_utps(cfg),
+        SystemKind::BaseKv => run_basekv(cfg),
+        SystemKind::ErpcKv => run_erpckv(cfg),
+        SystemKind::RaceHash => run_racehash(cfg),
+        SystemKind::Sherman => run_sherman(cfg),
+    }
+}
+
+/// Builds a [`RunResult`] for a baseline world from its driver state and the
+/// machine's metrics (baselines have no CR/MR split; per-class rates fall
+/// into the combined number).
+pub fn result_from_driver<W>(
+    cfg: &RunConfig,
+    eng: &mut Engine<W>,
+    driver: impl Fn(&W) -> &DriverState,
+) -> RunResult {
+    let metrics = eng.machine().cache.metrics.clone();
+    let d = driver(&eng.world);
+    let hist = d.merged_hist();
+    let completed = d.completed();
+    let secs = cfg.duration as f64 / SECS as f64;
+    let timeline = utps_core::experiment::render_timeline(&d.timeline, cfg.timeline_interval);
+    RunResult {
+        mops: completed as f64 / secs / 1e6,
+        completed,
+        p50_ns: hist.percentile(50.0),
+        p99_ns: hist.percentile(99.0),
+        mean_ns: hist.mean(),
+        llc_miss_cr: metrics.class[StatClass::Cr as usize].llc_miss_rate(),
+        llc_miss_mr: metrics.class[StatClass::Mr as usize].llc_miss_rate(),
+        llc_miss_all: metrics.combined().llc_miss_rate(),
+        cr_local_frac: 0.0,
+        final_n_cr: 0,
+        workers: cfg.workers,
+        final_cache_items: 0,
+        final_mr_ways: 0,
+        timeline,
+        tuner_events: Vec::new(),
+        reconfigs: 0,
+        not_found: d.clients.iter().map(|c| c.not_found).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use utps_index::IndexKind;
+    use utps_sim::config::MachineConfig;
+    use utps_sim::time::MICROS;
+
+    #[test]
+    fn dispatcher_reaches_every_system() {
+        let mut cfg = RunConfig {
+            keys: 10_000,
+            workers: 3,
+            n_cr: 1,
+            clients: 4,
+            pipeline: 2,
+            warmup: 300 * MICROS,
+            duration: 700 * MICROS,
+            machine: MachineConfig::tiny(),
+            ..RunConfig::default()
+        };
+        for system in [SystemKind::Utps, SystemKind::BaseKv, SystemKind::ErpcKv, SystemKind::Sherman] {
+            let r = run(system, &cfg);
+            assert!(r.completed > 50, "{}: {} ops", system.name(), r.completed);
+        }
+        cfg.index = IndexKind::Hash;
+        let r = run(SystemKind::RaceHash, &cfg);
+        assert!(r.completed > 50, "RaceHash: {} ops", r.completed);
+    }
+}

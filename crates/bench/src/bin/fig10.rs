@@ -1,0 +1,53 @@
+//! Figure 10 — throughput vs P50/P99 latency (§5.3).
+//!
+//! YCSB-A, 8 B items; the client count sweeps the offered load. Reported as
+//! (throughput, P50, P99) series per system and index, matching the paper's
+//! four panels.
+
+use utps_bench::{base_config, print_table, run_system, Cli, Scale};
+use utps_core::experiment::{RunConfig, SystemKind, WorkloadSpec};
+use utps_index::IndexKind;
+use utps_workload::Mix;
+
+fn main() {
+    let cli = Cli::parse();
+    let client_counts: &[usize] = if cli.scale == Scale::Full {
+        &[2, 4, 8, 16, 24, 32, 48, 64]
+    } else {
+        &[8, 16, 48]
+    };
+    for index in [IndexKind::Tree, IndexKind::Hash] {
+        let index_name = match index {
+            IndexKind::Tree => "tree",
+            IndexKind::Hash => "hash",
+        };
+        for system in [SystemKind::Utps, SystemKind::BaseKv] {
+            let mut rows = Vec::new();
+            for &clients in client_counts {
+                let cfg = RunConfig {
+                    index,
+                    clients,
+                    pipeline: 4,
+                    workload: WorkloadSpec::Ycsb {
+                        mix: Mix::A,
+                        theta: 0.99,
+                        value_len: 8,
+                        scan_len: 50,
+                    },
+                    ..base_config(cli.scale)
+                };
+                let r = run_system(system, &cfg);
+                rows.push((
+                    format!("{clients} clients"),
+                    vec![r.mops, r.p50_ns as f64 / 1000.0, r.p99_ns as f64 / 1000.0],
+                ));
+            }
+            print_table(
+                &format!("Figure 10 ({index_name}, {})", system.name()),
+                &["Mops", "P50 (us)", "P99 (us)"],
+                &rows,
+                cli.csv,
+            );
+        }
+    }
+}

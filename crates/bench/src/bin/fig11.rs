@@ -1,0 +1,56 @@
+//! Figure 11 — scalability with worker threads (§5.4).
+//!
+//! YCSB-A, 8 B and 256 B items, both indexes, worker count sweep. The
+//! paper's observation: μTPS is similar or slightly worse at few workers
+//! (integer thread allocation is too coarse) and pulls ahead as workers
+//! grow; BaseKV's hash/256 B point declines from contention.
+
+use utps_bench::{base_config, print_table, run_system, Cli, Scale};
+use utps_core::experiment::{RunConfig, SystemKind, WorkloadSpec};
+use utps_index::IndexKind;
+use utps_workload::Mix;
+
+fn main() {
+    let cli = Cli::parse();
+    let worker_counts: &[usize] = if cli.scale == Scale::Full {
+        &[2, 4, 8, 12, 16, 20, 24]
+    } else {
+        &[4, 8, 16]
+    };
+    for index in [IndexKind::Tree, IndexKind::Hash] {
+        for value_len in [8usize, 256] {
+            let index_name = match index {
+                IndexKind::Tree => "tree",
+                IndexKind::Hash => "hash",
+            };
+            let mut rows = Vec::new();
+            for &workers in worker_counts {
+                let cfg = RunConfig {
+                    index,
+                    workers,
+                    n_cr: (workers / 3).max(1),
+                    workload: WorkloadSpec::Ycsb {
+                        mix: Mix::A,
+                        theta: 0.99,
+                        value_len,
+                        scan_len: 50,
+                    },
+                    ..base_config(cli.scale)
+                };
+                let utps = run_system(SystemKind::Utps, &cfg);
+                let base = run_system(SystemKind::BaseKv, &cfg);
+                let erpc = run_system(SystemKind::ErpcKv, &cfg);
+                rows.push((
+                    format!("{workers} workers"),
+                    vec![utps.mops, base.mops, erpc.mops],
+                ));
+            }
+            print_table(
+                &format!("Figure 11 ({index_name}, {value_len}B): Mops vs workers"),
+                &["uTPS", "BaseKV", "eRPCKV"],
+                &rows,
+                cli.csv,
+            );
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Figure 12 — effect of the CR-MR batch size (§5.5.1).
+//!
+//! YCSB-A, 8 B items; batch size 1..20. The paper: batching improves
+//! μTPS-T by 51.6% and μTPS-H by 93.7% (μTPS-H is more sensitive because
+//! inter-layer communication is a larger share of its per-op cost).
+
+use utps_bench::{base_config, print_table, Cli, Scale};
+use utps_core::experiment::{run_utps, RunConfig, WorkloadSpec};
+use utps_index::IndexKind;
+use utps_workload::Mix;
+
+fn main() {
+    let cli = Cli::parse();
+    let batches: &[usize] = if cli.scale == Scale::Full {
+        &[1, 2, 4, 8, 12, 16, 20]
+    } else {
+        &[1, 2, 4, 8, 16]
+    };
+    let mut rows = Vec::new();
+    for &batch in batches {
+        let mut cells = Vec::new();
+        for index in [IndexKind::Tree, IndexKind::Hash] {
+            let cfg = RunConfig {
+                index,
+                batch,
+                workload: WorkloadSpec::Ycsb {
+                    mix: Mix::A,
+                    theta: 0.99,
+                    value_len: 8,
+                    scan_len: 50,
+                },
+                ..base_config(cli.scale)
+            };
+            cells.push(run_utps(&cfg).mops);
+        }
+        rows.push((format!("batch={batch}"), cells));
+    }
+    let b1 = rows[0].1.clone();
+    let last = rows.last().unwrap().1.clone();
+    print_table(
+        "Figure 12: μTPS throughput vs batch size (Mops)",
+        &["uTPS-T", "uTPS-H"],
+        &rows,
+        cli.csv,
+    );
+    println!(
+        "gain from batching: uTPS-T +{:.1}%  uTPS-H +{:.1}%  (paper: +51.6% / +93.7%)",
+        (last[0] / b1[0] - 1.0) * 100.0,
+        (last[1] / b1[1] - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,133 @@
+//! Figure 13 — what the auto-tuner chooses (§5.5.2).
+//!
+//! * `--part cores`: fraction of workers assigned to the MR layer as the
+//!   keyspace / item size / skew vary (paper: more MR workers for larger
+//!   items and keyspaces; fewer under skew);
+//! * `--part llc`: fraction of LLC ways the MR layer reuses (paper: almost
+//!   all except for uniform small-item workloads);
+//! * `--part cache`: cached items as a fraction of the tracked hot set
+//!   (paper: no clear correlation with skew — the cache doubles as a
+//!   fine-grained load balancer).
+//!
+//! Each point runs the probe-based tuning (the offline stand-in for the
+//! tuner's hierarchical search) and reports the chosen configuration.
+
+use utps_bench::{base_config, print_table, Cli};
+use utps_core::experiment::{run_utps, RunConfig, RunResult, WorkloadSpec};
+use utps_index::IndexKind;
+use utps_workload::Mix;
+
+/// Probe (n_cr × mr_ways × cache-size) and return the best configuration
+/// plus its measurement — a deterministic, exhaustive-ish stand-in for the
+/// hierarchical search so the *chosen values* can be reported.
+fn tune_full(cfg: &RunConfig) -> (usize, usize, usize, RunResult) {
+    let w = cfg.workers;
+    let cache_sizes: &[usize] = if cfg.cache_enabled {
+        &[0, 2_500, 5_000, 10_000]
+    } else {
+        &[0]
+    };
+    let mut best: Option<(f64, usize, usize, usize)> = None;
+    for &k in cache_sizes {
+        for n_cr in [w * 4 / 16, w * 6 / 16, w * 8 / 16] {
+            let n_cr = n_cr.clamp(1, w - 1);
+            for ways in [0usize, cfg.machine.cache.llc_ways / 2] {
+                let probe = RunConfig {
+                    n_cr,
+                    mr_ways: ways,
+                    hot_capacity: k.max(1),
+                    cache_enabled: cfg.cache_enabled && k > 0,
+                    warmup: 1_500 * utps_sim::time::MICROS,
+                    duration: 800 * utps_sim::time::MICROS,
+                    ..cfg.clone()
+                };
+                let r = run_utps(&probe);
+                if best.map(|(b, ..)| r.mops > b).unwrap_or(true) {
+                    best = Some((r.mops, n_cr, ways, k));
+                }
+            }
+        }
+    }
+    let (_, n_cr, ways, k) = best.unwrap();
+    let final_cfg = RunConfig {
+        n_cr,
+        mr_ways: ways,
+        hot_capacity: k.max(1),
+        cache_enabled: cfg.cache_enabled && k > 0,
+        ..cfg.clone()
+    };
+    let r = run_utps(&final_cfg);
+    (n_cr, ways, k, r)
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let part = cli.part().unwrap_or("all");
+    let base = base_config(cli.scale);
+    let ways_total = base.machine.cache.llc_ways as f64;
+
+    // The paper varies keyspace, item size and skew around YCSB-A on the
+    // tree index.
+    let scenarios: Vec<(String, u64, usize, f64)> = vec![
+        ("100K keys 8B zipf".into(), 100_000, 8, 0.99),
+        ("800K keys 8B zipf".into(), 800_000, 8, 0.99),
+        ("800K keys 256B zipf".into(), 800_000, 256, 0.99),
+        ("800K keys 8B unif".into(), 800_000, 8, 0.0),
+        ("800K keys 256B unif".into(), 800_000, 256, 0.0),
+    ];
+
+    let mut cores_rows = Vec::new();
+    let mut llc_rows = Vec::new();
+    let mut cache_rows = Vec::new();
+    for (label, keys, value_len, theta) in scenarios {
+        let cfg = RunConfig {
+            index: IndexKind::Tree,
+            keys,
+            cache_enabled: theta > 0.0,
+            workload: WorkloadSpec::Ycsb {
+                mix: Mix::A,
+                theta,
+                value_len,
+                scan_len: 50,
+            },
+            ..base.clone()
+        };
+        let (n_cr, ways, k, r) = tune_full(&cfg);
+        let n_mr = cfg.workers - n_cr;
+        cores_rows.push((
+            label.clone(),
+            vec![n_mr as f64 / cfg.workers as f64, r.mops],
+        ));
+        let ways_frac = if ways == 0 { 1.0 } else { ways as f64 / ways_total };
+        llc_rows.push((label.clone(), vec![ways_frac, r.mops]));
+        cache_rows.push((
+            label.clone(),
+            vec![k as f64 / 10_000.0, r.cr_local_frac],
+        ));
+        eprintln!("[fig13] {label}: n_cr={n_cr} ways={ways} cache={k}");
+    }
+    if part == "cores" || part == "all" {
+        print_table(
+            "Figure 13a: MR worker fraction chosen by tuning",
+            &["MR frac", "Mops"],
+            &cores_rows,
+            cli.csv,
+        );
+    }
+    if part == "llc" || part == "all" {
+        print_table(
+            "Figure 13b: LLC way fraction reused by the MR layer",
+            &["way frac", "Mops"],
+            &llc_rows,
+            cli.csv,
+        );
+    }
+    if part == "cache" || part == "all" {
+        print_table(
+            "Figure 13c: cached items / tracked hot set (10K)",
+            &["cache frac", "CR-local frac"],
+            &cache_rows,
+            cli.csv,
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Figure 14 — reacting to a dynamic workload (§5.5.2).
+//!
+//! YCSB-A with the value size switching 512 B → 8 B mid-run; the online
+//! auto-tuner detects the throughput shift, runs its hierarchical search
+//! (trisection over the thread split per cache size, then LLC ways) and
+//! applies a better configuration — without ever stopping the system.
+//!
+//! Times are scaled: the paper switches at t = 4 s and tunes with 10 ms
+//! windows; this run compresses the same sequence (switch at 1/3 of the
+//! run, sub-millisecond windows) so it completes in seconds of host time.
+
+use utps_bench::{base_config, Cli, Scale};
+use utps_core::experiment::{run_utps, RunConfig, WorkloadSpec};
+use utps_core::tuner::{TunerMode, TunerParams};
+use utps_index::IndexKind;
+use utps_sim::time::{MICROS, MILLIS};
+
+fn main() {
+    let cli = Cli::parse();
+    let (duration, switch, window) = match cli.scale {
+        Scale::Quick => (24 * MILLIS, 8 * MILLIS, 400 * MICROS),
+        Scale::Full => (60 * MILLIS, 20 * MILLIS, 800 * MICROS),
+    };
+    let warmup = 2 * MILLIS;
+    let cfg = RunConfig {
+        index: IndexKind::Tree,
+        keys: 500_000,
+        warmup,
+        duration,
+        tuner: TunerMode::Auto,
+        tuner_params: TunerParams {
+            window,
+            settle: window / 2,
+            trigger: 0.25,
+            trigger_windows: 2,
+            cache_step: 5_000,
+            cache_max: 10_000,
+        },
+        timeline_interval: window,
+        workload: WorkloadSpec::Fig14 {
+            // Switch time is relative to simulation start (ns).
+            switch_ns: (warmup + switch) / 1_000,
+        },
+        ..base_config(cli.scale)
+    };
+    let r = run_utps(&cfg);
+    println!("== Figure 14: throughput over time (value size 512B -> 8B) ==");
+    println!("workload switches at t={:.1}ms", (warmup + switch) as f64 / MILLIS as f64);
+    println!("{:>10} {:>10}", "t (ms)", "Mops");
+    for (t, mops) in &r.timeline {
+        let bar_len = (mops / 2.0) as usize;
+        println!("{:>10.2} {:>10.2} {}", t * 1e3, mops, "#".repeat(bar_len.min(60)));
+    }
+    println!("\ntuner events:");
+    for e in &r.tuner_events {
+        println!("  {e}");
+    }
+    println!(
+        "reconfigurations completed: {}; final n_cr={} of {}; cache={} items; MR ways={}",
+        r.reconfigs, r.final_n_cr, r.workers, r.final_cache_items, r.final_mr_ways
+    );
+    if cli.csv {
+        for (t, mops) in &r.timeline {
+            println!("csv,{t:.6},{mops:.4}");
+        }
+    }
+}

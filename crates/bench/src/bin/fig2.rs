@@ -1,0 +1,156 @@
+//! Figure 2 — the motivation experiments (§2.2).
+//!
+//! * `--part a`: NP-TPS vs NP-TPQ vs TPQ+CAT, get throughput vs item size
+//!   under a uniform workload (tree index), plus the per-stage LLC miss
+//!   rates the paper reports from PCM (stage-1 ≈ 2% vs ≈ 33% in TPQ);
+//! * `--part b`: index-lookup throughput with and without hotspot
+//!   separation under a skewed workload;
+//! * `--part c`: put throughput of share-everything (BaseKV),
+//!   share-nothing (eRPCKV) and TPS (μTPS) as worker count grows — the
+//!   SE/SN trade-off and its contention crossover.
+//!
+//! Run all parts when `--part` is omitted.
+
+use utps_baselines::basekv::run_basekv_opts;
+use utps_bench::{base_config, print_table, run_utps_tuned, Cli, Scale};
+use utps_core::experiment::{run_utps, RunConfig, SystemKind, WorkloadSpec};
+use utps_index::IndexKind;
+use utps_workload::Mix;
+
+fn part_a(cli: &Cli) {
+    let sizes: &[usize] = if cli.scale == Scale::Full {
+        &[8, 64, 256, 1024]
+    } else {
+        &[8, 64, 256]
+    };
+    let mut rows = Vec::new();
+    let mut miss_rows = Vec::new();
+    for &size in sizes {
+        let cfg = RunConfig {
+            index: IndexKind::Tree,
+            cache_enabled: false, // §2.2.1 separates stages only, no hot cache
+            workload: WorkloadSpec::Ycsb {
+                mix: Mix::C,
+                theta: 0.0,
+                value_len: size,
+                scan_len: 50,
+            },
+            ..base_config(cli.scale)
+        };
+        let tps = run_utps_tuned(&cfg);
+        let tpq = run_basekv_opts(&cfg, false);
+        let tpq_cat = run_basekv_opts(&cfg, true);
+        rows.push((
+            format!("{size}B"),
+            vec![tps.mops, tpq.mops, tpq_cat.mops],
+        ));
+        miss_rows.push((
+            format!("{size}B"),
+            vec![
+                tps.llc_miss_cr * 100.0,
+                tps.llc_miss_mr * 100.0,
+                tpq.llc_miss_all * 100.0,
+            ],
+        ));
+    }
+    print_table(
+        "Figure 2a: GET throughput, uniform (Mops)",
+        &["NP-TPS", "NP-TPQ", "TPQ+CAT"],
+        &rows,
+        cli.csv,
+    );
+    print_table(
+        "Figure 2a aux: LLC miss rates (%) — paper: stage-1 ~2% vs TPQ ~33%",
+        &["TPS-stage1", "TPS-stage2", "TPQ"],
+        &miss_rows,
+        cli.csv,
+    );
+}
+
+fn part_b(cli: &Cli) {
+    // Hotspot separation: redirect the hottest keys to dedicated threads
+    // (the CR layer) vs no separation, same total workers.
+    let mut rows = Vec::new();
+    for theta in [0.9, 0.99] {
+        let cfg = RunConfig {
+            index: IndexKind::Tree,
+            workload: WorkloadSpec::Ycsb {
+                mix: Mix::C,
+                theta,
+                value_len: 8,
+                scan_len: 50,
+            },
+            ..base_config(cli.scale)
+        };
+        let with = run_utps_tuned(&RunConfig {
+            cache_enabled: true,
+            hot_capacity: 1_000,
+            ..cfg.clone()
+        });
+        let without = run_utps_tuned(&RunConfig {
+            cache_enabled: false,
+            ..cfg
+        });
+        rows.push((
+            format!("zipf {theta}"),
+            vec![with.mops, without.mops, with.mops / without.mops],
+        ));
+    }
+    print_table(
+        "Figure 2b: hotspot separation (Mops) — paper: ~1.08x avg",
+        &["separated", "baseline", "ratio"],
+        &rows,
+        cli.csv,
+    );
+}
+
+fn part_c(cli: &Cli) {
+    let workers: &[usize] = if cli.scale == Scale::Full {
+        &[4, 8, 12, 16, 20, 24]
+    } else {
+        &[4, 8, 12, 16]
+    };
+    let mut rows = Vec::new();
+    for &w in workers {
+        let cfg = RunConfig {
+            index: IndexKind::Hash,
+            workers: w,
+            n_cr: (w / 3).max(1),
+            workload: WorkloadSpec::Ycsb {
+                mix: Mix::PUT_ONLY,
+                theta: 0.99,
+                value_len: 64,
+                scan_len: 50,
+            },
+            ..base_config(cli.scale)
+        };
+        let se = utps_baselines::run(SystemKind::BaseKv, &cfg);
+        let sn = utps_baselines::run(SystemKind::ErpcKv, &cfg);
+        let tps = run_utps(&RunConfig {
+            n_cr: (w / 3).max(1),
+            ..cfg
+        });
+        rows.push((format!("{w} workers"), vec![se.mops, sn.mops, tps.mops]));
+    }
+    print_table(
+        "Figure 2c: PUT throughput, skewed 64B (Mops) — SE degrades with threads",
+        &["SE", "SN", "TPS"],
+        &rows,
+        cli.csv,
+    );
+}
+
+fn main() {
+    let cli = Cli::parse();
+    match cli.part() {
+        Some("a") => part_a(&cli),
+        Some("b") => part_b(&cli),
+        Some("c") => part_c(&cli),
+        Some(other) => panic!("unknown part {other:?} (expected a, b, or c)"),
+        None => {
+            part_a(&cli);
+            part_b(&cli);
+            part_c(&cli);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Figure 7 — overall performance matrix (§5.2.1).
+//!
+//! {MassTree-style tree, cuckoo hash} × {YCSB-A, B, C, PUT-S, GET-U, PUT-U}
+//! × item sizes × {μTPS, BaseKV, eRPCKV, passive (RaceHash/Sherman)}.
+//! μTPS is tuned per cell (probe phase standing in for the auto-tuner).
+
+use utps_bench::{base_config, print_table, ratio, run_system, Cli, Scale};
+use utps_core::experiment::{RunConfig, SystemKind, WorkloadSpec};
+use utps_index::IndexKind;
+use utps_workload::Mix;
+
+/// The paper's six operation mixes: (label, mix, theta).
+const MIXES: [(&str, Mix, f64); 6] = [
+    ("A", Mix::A, 0.99),
+    ("B", Mix::B, 0.99),
+    ("C", Mix::C, 0.99),
+    ("PUT-S", Mix::PUT_ONLY, 0.99),
+    ("GET-U", Mix::C, 0.0),
+    ("PUT-U", Mix::PUT_ONLY, 0.0),
+];
+
+fn main() {
+    let cli = Cli::parse();
+    let sizes: &[usize] = if cli.scale == Scale::Full {
+        &[8, 64, 256, 1024]
+    } else {
+        &[64, 256]
+    };
+    for index in [IndexKind::Tree, IndexKind::Hash] {
+        let passive = if index == IndexKind::Tree {
+            SystemKind::Sherman
+        } else {
+            SystemKind::RaceHash
+        };
+        let index_name = match index {
+            IndexKind::Tree => "MassTree-style tree",
+            IndexKind::Hash => "cuckoo hash",
+        };
+        let mut rows = Vec::new();
+        for (label, mix, theta) in MIXES {
+            for &size in sizes {
+                let cfg = RunConfig {
+                    index,
+                    cache_enabled: theta > 0.0,
+                    workload: WorkloadSpec::Ycsb {
+                        mix,
+                        theta,
+                        value_len: size,
+                        scan_len: 50,
+                    },
+                    ..base_config(cli.scale)
+                };
+                let utps = run_system(SystemKind::Utps, &cfg);
+                let base = run_system(SystemKind::BaseKv, &cfg);
+                let erpc = run_system(SystemKind::ErpcKv, &cfg);
+                let pass = run_system(passive, &cfg);
+                rows.push((
+                    format!("{label:>5} {size:>4}B"),
+                    vec![
+                        utps.mops,
+                        base.mops,
+                        erpc.mops,
+                        pass.mops,
+                        ratio(utps.mops, base.mops),
+                    ],
+                ));
+                eprintln!(
+                    "[fig7] {index_name} {label} {size}B done: uTPS {:.1}M",
+                    utps.mops
+                );
+            }
+        }
+        print_table(
+            &format!("Figure 7 ({index_name}): throughput (Mops)"),
+            &["uTPS", "BaseKV", "eRPCKV", passive.name(), "uTPS/Base"],
+            &rows,
+            cli.csv,
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! Figure 8 — scans and the Meta ETC pool (§5.2.1-§5.2.2).
+//!
+//! * `--part a`: scan-only and YCSB-E throughput (8 B items, range ≈ 50);
+//! * `--part etc`: ETC with get ratios 10% / 50% / 90%.
+
+use utps_bench::{base_config, print_table, ratio, run_system, Cli};
+use utps_core::experiment::{RunConfig, SystemKind, WorkloadSpec};
+use utps_index::IndexKind;
+use utps_workload::Mix;
+
+fn part_a(cli: &Cli) {
+    let mut rows = Vec::new();
+    for (label, mix) in [("scan-only", Mix::SCAN_ONLY), ("YCSB-E", Mix::E)] {
+        let cfg = RunConfig {
+            index: IndexKind::Tree,
+            workload: WorkloadSpec::Ycsb {
+                mix,
+                theta: 0.99,
+                value_len: 8,
+                scan_len: 50,
+            },
+            ..base_config(cli.scale)
+        };
+        let utps = run_system(SystemKind::Utps, &cfg);
+        let base = run_system(SystemKind::BaseKv, &cfg);
+        let erpc = run_system(SystemKind::ErpcKv, &cfg);
+        rows.push((
+            label.to_string(),
+            vec![
+                utps.mops,
+                base.mops,
+                erpc.mops,
+                ratio(utps.mops, base.mops),
+            ],
+        ));
+    }
+    print_table(
+        "Figure 8a: scan throughput (Mops) — paper: uTPS-T +25-33% over BaseKV",
+        &["uTPS-T", "BaseKV", "eRPCKV", "uTPS/Base"],
+        &rows,
+        cli.csv,
+    );
+}
+
+fn part_etc(cli: &Cli) {
+    let mut rows = Vec::new();
+    for get_ratio in [0.1, 0.5, 0.9] {
+        let cfg = RunConfig {
+            index: IndexKind::Tree,
+            workload: WorkloadSpec::Etc { get_ratio },
+            ..base_config(cli.scale)
+        };
+        let utps = run_system(SystemKind::Utps, &cfg);
+        let base = run_system(SystemKind::BaseKv, &cfg);
+        let erpc = run_system(SystemKind::ErpcKv, &cfg);
+        rows.push((
+            format!("get={:.0}%", get_ratio * 100.0),
+            vec![
+                utps.mops,
+                base.mops,
+                erpc.mops,
+                ratio(utps.mops, base.mops),
+                ratio(utps.mops, erpc.mops),
+            ],
+        ));
+    }
+    print_table(
+        "Figure 8b-c: ETC pool throughput (Mops)",
+        &["uTPS-T", "BaseKV", "eRPCKV", "uTPS/Base", "uTPS/eRPC"],
+        &rows,
+        cli.csv,
+    );
+}
+
+fn main() {
+    let cli = Cli::parse();
+    match cli.part() {
+        Some("a") => part_a(&cli),
+        Some("etc") => part_etc(&cli),
+        Some(other) => panic!("unknown part {other:?} (expected a or etc)"),
+        None => {
+            part_a(&cli);
+            part_etc(&cli);
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Figure 9 + Table 1 — Twitter production-cache traces (§5.2.2).
+//!
+//! Clusters 12/19/31 synthesized with Table 1's parameters (put ratio,
+//! average value size, zipf α).
+
+use utps_bench::{base_config, print_table, ratio, run_system, Cli};
+use utps_core::experiment::{RunConfig, SystemKind, WorkloadSpec};
+use utps_index::IndexKind;
+use utps_workload::TwitterCluster;
+
+fn main() {
+    let cli = Cli::parse();
+    println!("Table 1 (trace parameters):");
+    println!("{:>12} {:>9} {:>12} {:>10}", "", "put", "avg value", "zipf a");
+    for c in TwitterCluster::all() {
+        let (p, v, a) = c.params();
+        println!("{:>12} {:>8.0}% {:>11}B {:>10.2}", c.name(), p * 100.0, v, a);
+    }
+
+    let mut rows = Vec::new();
+    for cluster in TwitterCluster::all() {
+        let (_, _, alpha) = cluster.params();
+        let cfg = RunConfig {
+            index: IndexKind::Tree,
+            cache_enabled: alpha > 0.0,
+            workload: WorkloadSpec::Twitter { cluster },
+            ..base_config(cli.scale)
+        };
+        let utps = run_system(SystemKind::Utps, &cfg);
+        let base = run_system(SystemKind::BaseKv, &cfg);
+        let erpc = run_system(SystemKind::ErpcKv, &cfg);
+        rows.push((
+            cluster.name().to_string(),
+            vec![
+                utps.mops,
+                base.mops,
+                erpc.mops,
+                ratio(utps.mops, base.mops),
+                ratio(utps.mops, erpc.mops),
+            ],
+        ));
+    }
+    print_table(
+        "Figure 9: Twitter traces throughput (Mops)",
+        &["uTPS-T", "BaseKV", "eRPCKV", "uTPS/Base", "uTPS/eRPC"],
+        &rows,
+        cli.csv,
+    );
+}

@@ -1,0 +1,219 @@
+//! Benchmark harness: everything shared by the figure-regeneration binaries.
+//!
+//! Each `src/bin/fig*.rs` binary regenerates one table or figure of the
+//! paper (see DESIGN.md's experiment index). All binaries accept:
+//!
+//! * `--quick` — reduced keyspace/duration for CI-speed runs (default);
+//! * `--full` — closer to paper scale (minutes of host time per figure);
+//! * `--csv` — machine-readable output in addition to the text table.
+
+use utps_baselines::run;
+use utps_core::experiment::{RunConfig, RunResult, SystemKind};
+use utps_sim::config::MachineConfig;
+use utps_sim::time::MILLIS;
+
+/// Scale preset parsed from the command line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// CI-speed runs.
+    Quick,
+    /// Near paper scale.
+    Full,
+}
+
+/// Parsed common CLI options.
+#[derive(Clone, Debug)]
+pub struct Cli {
+    /// Scale preset.
+    pub scale: Scale,
+    /// Also print CSV lines (prefixed `csv,`).
+    pub csv: bool,
+    /// Figure-specific free arguments (e.g. `--part a`).
+    pub args: Vec<String>,
+}
+
+impl Cli {
+    /// Parses `std::env::args`.
+    pub fn parse() -> Cli {
+        let mut scale = Scale::Quick;
+        let mut csv = false;
+        let mut args = Vec::new();
+        for a in std::env::args().skip(1) {
+            match a.as_str() {
+                "--quick" => scale = Scale::Quick,
+                "--full" => scale = Scale::Full,
+                "--csv" => csv = true,
+                _ => args.push(a),
+            }
+        }
+        Cli { scale, csv, args }
+    }
+
+    /// Value following `--part`, if present.
+    pub fn part(&self) -> Option<&str> {
+        self.args
+            .iter()
+            .position(|a| a == "--part")
+            .and_then(|i| self.args.get(i + 1))
+            .map(String::as_str)
+    }
+}
+
+/// Base experiment configuration for the given scale.
+pub fn base_config(scale: Scale) -> RunConfig {
+    match scale {
+        Scale::Quick => RunConfig {
+            keys: 800_000,
+            workers: 16,
+            n_cr: 6,
+            batch: 8,
+            clients: 48,
+            pipeline: 16,
+            warmup: 3 * MILLIS,
+            duration: 2 * MILLIS,
+            machine: MachineConfig::default(),
+            hot_capacity: 10_000,
+            sample_every: 2,
+            ..RunConfig::default()
+        },
+        Scale::Full => RunConfig {
+            keys: 4_000_000,
+            workers: 16,
+            n_cr: 6,
+            batch: 8,
+            clients: 64,
+            pipeline: 16,
+            warmup: 4 * MILLIS,
+            duration: 6 * MILLIS,
+            machine: MachineConfig::default(),
+            hot_capacity: 10_000,
+            sample_every: 2,
+            ..RunConfig::default()
+        },
+    }
+}
+
+/// Runs μTPS the way the paper does: tuned. A short probe phase evaluates
+/// candidate (n_cr, mr_ways, cache) configurations — standing in for the
+/// auto-tuner's hierarchical search at a fraction of the cost — and the best
+/// one is measured at full length.
+pub fn run_utps_tuned(cfg: &RunConfig) -> RunResult {
+    let w = cfg.workers;
+    let mut candidates: Vec<(usize, usize, bool)> = vec![
+        ((w * 5 / 16).clamp(1, w - 1), 0, cfg.cache_enabled),
+        ((w * 8 / 16).clamp(1, w - 1), 0, cfg.cache_enabled),
+    ];
+    if cfg.cache_enabled {
+        candidates.push((
+            (w * 6 / 16).clamp(1, w - 1),
+            cfg.machine.cache.llc_ways / 2,
+            true,
+        ));
+    }
+    candidates.dedup();
+    let mut best: Option<(f64, (usize, usize, bool))> = None;
+    for &(n_cr, ways, cache) in &candidates {
+        let probe = RunConfig {
+            n_cr,
+            mr_ways: ways,
+            cache_enabled: cache,
+            warmup: cfg.warmup.min(1_500 * utps_sim::time::MICROS),
+            duration: 800 * utps_sim::time::MICROS,
+            timeline_interval: 0,
+            ..cfg.clone()
+        };
+        let r = utps_core::experiment::run_utps(&probe);
+        if best.map(|(b, _)| r.mops > b).unwrap_or(true) {
+            best = Some((r.mops, (n_cr, ways, cache)));
+        }
+    }
+    let (_, (n_cr, ways, cache)) = best.expect("no candidates");
+    let tuned = RunConfig {
+        n_cr,
+        mr_ways: ways,
+        cache_enabled: cache,
+        ..cfg.clone()
+    };
+    utps_core::experiment::run_utps(&tuned)
+}
+
+/// Runs `system` under `cfg`, tuning μTPS as the paper does.
+pub fn run_system(system: SystemKind, cfg: &RunConfig) -> RunResult {
+    match system {
+        SystemKind::Utps => run_utps_tuned(cfg),
+        other => run(other, cfg),
+    }
+}
+
+/// Renders an aligned text table: header + rows of (label, values).
+pub fn print_table(title: &str, columns: &[&str], rows: &[(String, Vec<f64>)], csv: bool) {
+    println!("\n== {title} ==");
+    let label_w = rows
+        .iter()
+        .map(|(l, _)| l.len())
+        .chain(std::iter::once(12))
+        .max()
+        .unwrap();
+    print!("{:label_w$}", "");
+    for c in columns {
+        print!("  {c:>10}");
+    }
+    println!();
+    for (label, values) in rows {
+        print!("{label:label_w$}");
+        for v in values {
+            print!("  {v:>10.2}");
+        }
+        println!();
+    }
+    if csv {
+        print!("csv,label");
+        for c in columns {
+            print!(",{c}");
+        }
+        println!();
+        for (label, values) in rows {
+            print!("csv,{label}");
+            for v in values {
+                print!(",{v:.4}");
+            }
+            println!();
+        }
+    }
+}
+
+/// Convenience: throughput ratio `a / b` (NaN when `b` is zero).
+pub fn ratio(a: f64, b: f64) -> f64 {
+    if b > 0.0 {
+        a / b
+    } else {
+        f64::NAN
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cli_part_extraction() {
+        let cli = Cli {
+            scale: Scale::Quick,
+            csv: false,
+            args: vec!["--part".into(), "b".into()],
+        };
+        assert_eq!(cli.part(), Some("b"));
+        let none = Cli {
+            scale: Scale::Full,
+            csv: true,
+            args: vec![],
+        };
+        assert_eq!(none.part(), None);
+    }
+
+    #[test]
+    fn ratio_handles_zero() {
+        assert!(ratio(1.0, 0.0).is_nan());
+        assert!((ratio(3.0, 2.0) - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,271 @@
+//! Epoch-based atomic publication of a shared value.
+//!
+//! μTPS refreshes and resizes its hot-item cache while worker threads keep
+//! serving requests. Following Nap's non-blocking switch (§3.2.2, \[61\]),
+//! the manager installs a new version, and the old version is reclaimed only
+//! after every reader has exited the epoch in which it could have observed
+//! the old pointer. Readers never block; the writer never blocks readers.
+
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Maximum number of registered readers.
+pub const MAX_READERS: usize = 64;
+
+#[repr(align(64))]
+struct ReaderSlot(AtomicU64);
+
+/// A reader's epoch word: even = quiescent, odd = inside a critical section
+/// (the upper bits carry the global epoch it entered under).
+const QUIESCENT: u64 = 0;
+
+/// An epoch-protected cell holding an `Arc<T>`.
+///
+/// # Examples
+///
+/// ```
+/// use utps_collections::EpochCell;
+/// let cell = EpochCell::new(vec![1, 2, 3]);
+/// let h = cell.register_reader(0);
+/// let guard = h.pin();
+/// assert_eq!(*guard, vec![1, 2, 3]);
+/// drop(guard);
+/// cell.replace(vec![4, 5]);
+/// assert_eq!(*h.pin(), vec![4, 5]);
+/// ```
+pub struct EpochCell<T> {
+    current: AtomicPtr<T>,
+    epoch: AtomicU64,
+    readers: Box<[ReaderSlot]>,
+    /// Versions awaiting reclamation: (epoch installed at, pointer).
+    retired: std::sync::Mutex<Vec<(u64, *mut T)>>,
+}
+
+// SAFETY: `current` is only dereferenced under `pin`, which prevents
+// reclamation; retired pointers are freed once unreachable. `T` crosses
+// threads by shared reference, hence `T: Send + Sync`.
+unsafe impl<T: Send + Sync> Send for EpochCell<T> {}
+// SAFETY: see above.
+unsafe impl<T: Send + Sync> Sync for EpochCell<T> {}
+
+/// A registered reader handle.
+pub struct ReaderHandle<'a, T> {
+    cell: &'a EpochCell<T>,
+    slot: usize,
+}
+
+/// An epoch guard dereferencing to the current value.
+pub struct Guard<'a, T> {
+    cell: &'a EpochCell<T>,
+    slot: usize,
+    value: *const T,
+}
+
+impl<T> EpochCell<T> {
+    /// Creates a cell holding `value`.
+    pub fn new(value: T) -> Self {
+        let readers = (0..MAX_READERS)
+            .map(|_| ReaderSlot(AtomicU64::new(QUIESCENT)))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        EpochCell {
+            current: AtomicPtr::new(Box::into_raw(Box::new(value))),
+            epoch: AtomicU64::new(2),
+            readers,
+            retired: std::sync::Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Registers reader slot `slot` (0-based, unique per reader thread).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= MAX_READERS`.
+    pub fn register_reader(&self, slot: usize) -> ReaderHandle<'_, T> {
+        assert!(slot < MAX_READERS, "reader slot out of range");
+        ReaderHandle { cell: self, slot }
+    }
+
+    /// Installs a new value; the previous version is retired and freed once
+    /// all readers have left the epoch that could observe it.
+    pub fn replace(&self, value: T) {
+        let new = Box::into_raw(Box::new(value));
+        let old = self.current.swap(new, Ordering::AcqRel);
+        let epoch = self.epoch.fetch_add(2, Ordering::AcqRel);
+        {
+            let mut retired = self.retired.lock().unwrap();
+            retired.push((epoch, old));
+        }
+        self.try_reclaim();
+    }
+
+    /// Attempts to free retired versions no reader can still see.
+    pub fn try_reclaim(&self) {
+        // The minimum epoch any in-critical-section reader entered under.
+        let mut min_active = u64::MAX;
+        for r in self.readers.iter() {
+            let e = r.0.load(Ordering::Acquire);
+            if e & 1 == 1 {
+                min_active = min_active.min(e >> 1);
+            }
+        }
+        let mut retired = self.retired.lock().unwrap();
+        retired.retain(|&(installed_before, ptr)| {
+            // A version retired at epoch E is unreachable once every active
+            // reader entered at an epoch > E.
+            if min_active > installed_before {
+                // SAFETY: no reader pinned at an epoch ≤ `installed_before`
+                // remains, and `current` no longer points here, so we hold
+                // the only reference.
+                unsafe { drop(Box::from_raw(ptr)) };
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    /// Number of versions awaiting reclamation (for tests/metrics).
+    pub fn retired_len(&self) -> usize {
+        self.retired.lock().unwrap().len()
+    }
+}
+
+impl<T> ReaderHandle<'_, T> {
+    /// Enters a read critical section and returns a guard for the current
+    /// value.
+    pub fn pin(&self) -> Guard<'_, T> {
+        let slot = &self.cell.readers[self.slot].0;
+        loop {
+            let epoch = self.cell.epoch.load(Ordering::Acquire);
+            slot.store((epoch << 1) | 1, Ordering::SeqCst);
+            // Re-check: if the writer bumped the epoch between the load and
+            // the store, retry so the writer never misses us.
+            if self.cell.epoch.load(Ordering::SeqCst) == epoch {
+                let value = self.cell.current.load(Ordering::Acquire);
+                return Guard {
+                    cell: self.cell,
+                    slot: self.slot,
+                    value,
+                };
+            }
+            slot.store(QUIESCENT, Ordering::SeqCst);
+        }
+    }
+}
+
+impl<T> core::ops::Deref for Guard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: the reader slot is marked active for an epoch ≤ the value's
+        // retirement epoch, so `try_reclaim` will not free it while this
+        // guard lives.
+        unsafe { &*self.value }
+    }
+}
+
+impl<T> Drop for Guard<'_, T> {
+    fn drop(&mut self) {
+        self.cell.readers[self.slot].0.store(QUIESCENT, Ordering::SeqCst);
+    }
+}
+
+impl<T> Drop for EpochCell<T> {
+    fn drop(&mut self) {
+        // SAFETY: exclusive access; free the live version and all retired.
+        unsafe {
+            drop(Box::from_raw(self.current.load(Ordering::Relaxed)));
+        }
+        for (_, ptr) in self.retired.lock().unwrap().drain(..) {
+            // SAFETY: retired pointers are uniquely owned by the cell.
+            unsafe { drop(Box::from_raw(ptr)) };
+        }
+    }
+}
+
+/// Convenience constructor returning an `Arc`-wrapped cell.
+pub fn shared<T>(value: T) -> Arc<EpochCell<T>> {
+    Arc::new(EpochCell::new(value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn read_after_replace_sees_new_value() {
+        let cell = EpochCell::new(1u32);
+        let h = cell.register_reader(0);
+        assert_eq!(*h.pin(), 1);
+        cell.replace(2);
+        assert_eq!(*h.pin(), 2);
+    }
+
+    #[test]
+    fn old_version_survives_while_pinned() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct D(u32);
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let cell = EpochCell::new(D(1));
+        let h = cell.register_reader(0);
+        let guard = h.pin();
+        cell.replace(D(2));
+        cell.try_reclaim();
+        assert_eq!(DROPS.load(Ordering::SeqCst), 0, "freed under a reader");
+        assert_eq!(guard.0, 1, "guard must still see the old version");
+        drop(guard);
+        cell.try_reclaim();
+        assert_eq!(DROPS.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn multiple_replacements_reclaim_in_order() {
+        let cell = EpochCell::new(0u64);
+        let h = cell.register_reader(3);
+        for i in 1..=5 {
+            cell.replace(i);
+        }
+        assert_eq!(*h.pin(), 5);
+        cell.try_reclaim();
+        assert_eq!(cell.retired_len(), 0);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writer() {
+        let cell = shared(0u64);
+        let mut handles = Vec::new();
+        for slot in 0..4 {
+            let cell = Arc::clone(&cell);
+            handles.push(std::thread::spawn(move || {
+                let h = cell.register_reader(slot);
+                let mut last = 0;
+                for _ in 0..10_000 {
+                    let v = *h.pin();
+                    assert!(v >= last, "time went backwards: {v} < {last}");
+                    last = v;
+                }
+            }));
+        }
+        for i in 1..=1_000 {
+            cell.replace(i);
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        cell.try_reclaim();
+        assert_eq!(cell.retired_len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "reader slot out of range")]
+    fn slot_bound_enforced() {
+        let cell = EpochCell::new(());
+        let _ = cell.register_reader(MAX_READERS);
+    }
+}

@@ -1,0 +1,36 @@
+//! Reusable data structures backing μTPS.
+//!
+//! Everything in this crate is plain, natively usable Rust — no simulator
+//! types. The μTPS layers wrap these structures and charge the simulated
+//! cache model around them:
+//!
+//! * [`sketch::CountMinSketch`] + [`topk::TopK`] + [`hotset::HotSetTracker`] —
+//!   the hot-set identification pipeline of §3.2.2 (sample → sketch → top-K);
+//! * [`epoch::EpochCell`] — the epoch-based atomic switch used to publish a
+//!   refreshed/resized hot cache to all worker threads;
+//! * [`spsc::SpscRing`] — the lock-free ring underlying each lane of the
+//!   all-to-all CR-MR queue (§3.4), with multi-request slots;
+//! * [`mpmc::MpmcQueue`] — the bounded Vyukov MPMC queue used as the §3.4
+//!   counterfactual (a single shared queue instead of per-pair lanes);
+//! * [`sorted_cache::SortedCache`] — the pointer-free ordered-array layout
+//!   for cached index entries of tree-indexed stores;
+//! * [`hist::LatencyHistogram`] — log-bucketed percentile tracking for the
+//!   latency evaluation (§5.3).
+
+pub mod epoch;
+pub mod hist;
+pub mod mpmc;
+pub mod hotset;
+pub mod sketch;
+pub mod sorted_cache;
+pub mod spsc;
+pub mod topk;
+
+pub use epoch::EpochCell;
+pub use hist::LatencyHistogram;
+pub use mpmc::MpmcQueue;
+pub use hotset::HotSetTracker;
+pub use sketch::CountMinSketch;
+pub use sorted_cache::SortedCache;
+pub use spsc::SpscRing;
+pub use topk::TopK;

@@ -1,0 +1,289 @@
+//! A bounded lock-free single-producer single-consumer ring buffer.
+//!
+//! One such ring forms each lane of μTPS's all-to-all CR-MR queue (§3.4):
+//! every (CR thread, MR thread) pair gets a dedicated ring, so no lane ever
+//! sees more than one producer or one consumer. Head and tail indices live
+//! on separate cache lines to avoid false sharing, and batch push/pop let
+//! callers amortize the index updates exactly as the paper's multi-request
+//! slots do.
+
+use core::cell::UnsafeCell;
+use core::mem::MaybeUninit;
+use core::sync::atomic::{AtomicUsize, Ordering};
+
+/// Pads a value to a cache line to prevent false sharing.
+#[repr(align(64))]
+struct CachePadded<T>(T);
+
+/// A bounded SPSC ring buffer.
+///
+/// The producer side may only be used from one thread at a time, and the
+/// consumer side from one thread at a time; the type enforces memory safety
+/// regardless, but concurrent use of the *same* side from two threads will
+/// corrupt FIFO semantics (not memory). In the single-threaded simulator the
+/// distinction is moot; in native use, share it by reference
+/// with one producer thread and one consumer thread.
+///
+/// # Examples
+///
+/// ```
+/// let ring = utps_collections::SpscRing::new(4);
+/// assert!(ring.try_push(1).is_ok());
+/// assert!(ring.try_push(2).is_ok());
+/// assert_eq!(ring.try_pop(), Some(1));
+/// assert_eq!(ring.try_pop(), Some(2));
+/// assert_eq!(ring.try_pop(), None);
+/// ```
+pub struct SpscRing<T> {
+    mask: usize,
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    head: CachePadded<AtomicUsize>,
+    tail: CachePadded<AtomicUsize>,
+}
+
+// SAFETY: the ring hands out values by moving them; slots are only read by
+// the consumer after the producer published them via the release store on
+// `tail`, and only overwritten by the producer after the consumer freed them
+// via the release store on `head`.
+unsafe impl<T: Send> Send for SpscRing<T> {}
+// SAFETY: see above — all cross-thread slot access is ordered through the
+// acquire/release pairs on `head`/`tail`.
+unsafe impl<T: Send> Sync for SpscRing<T> {}
+
+impl<T> SpscRing<T> {
+    /// Creates a ring with capacity for `cap` elements (rounded up to a
+    /// power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "capacity must be nonzero");
+        let cap = cap.next_power_of_two();
+        let slots = (0..cap)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        SpscRing {
+            mask: cap - 1,
+            slots,
+            head: CachePadded(AtomicUsize::new(0)),
+            tail: CachePadded(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Maximum number of buffered elements.
+    pub fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
+    /// Current number of buffered elements (racy under concurrency; exact in
+    /// the simulator).
+    pub fn len(&self) -> usize {
+        let tail = self.tail.0.load(Ordering::Acquire);
+        let head = self.head.0.load(Ordering::Acquire);
+        tail.wrapping_sub(head)
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the ring is full.
+    pub fn is_full(&self) -> bool {
+        self.len() == self.capacity()
+    }
+
+    /// Address of the tail index word — the cache line a producer touches.
+    /// Used by the simulator to charge inter-core traffic.
+    pub fn tail_addr(&self) -> usize {
+        &self.tail.0 as *const AtomicUsize as usize
+    }
+
+    /// Address of the head index word — the cache line a consumer touches.
+    pub fn head_addr(&self) -> usize {
+        &self.head.0 as *const AtomicUsize as usize
+    }
+
+    /// Address of the slot storage for element index `i` (for cache
+    /// charging).
+    pub fn slot_addr(&self, i: usize) -> usize {
+        self.slots[i & self.mask].get() as usize
+    }
+
+    /// Attempts to enqueue `value`; returns it back if the ring is full.
+    pub fn try_push(&self, value: T) -> Result<(), T> {
+        let tail = self.tail.0.load(Ordering::Relaxed);
+        let head = self.head.0.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) == self.capacity() {
+            return Err(value);
+        }
+        // SAFETY: the slot at `tail` was consumed (head passed it) or never
+        // written; the producer is the only writer of `tail`.
+        unsafe {
+            (*self.slots[tail & self.mask].get()).write(value);
+        }
+        self.tail.0.store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Attempts to dequeue one element.
+    pub fn try_pop(&self) -> Option<T> {
+        let head = self.head.0.load(Ordering::Relaxed);
+        let tail = self.tail.0.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        // SAFETY: `head < tail` means the producer published this slot with
+        // a release store; we take ownership and bump `head` so the producer
+        // may reuse it.
+        let value = unsafe { (*self.slots[head & self.mask].get()).assume_init_read() };
+        self.head.0.store(head.wrapping_add(1), Ordering::Release);
+        Some(value)
+    }
+
+    /// Pushes up to `batch.len()` elements, stopping at the first failure;
+    /// returns how many were enqueued. Elements not enqueued stay in `batch`.
+    pub fn push_batch(&self, batch: &mut Vec<T>) -> usize {
+        let tail = self.tail.0.load(Ordering::Relaxed);
+        let head = self.head.0.load(Ordering::Acquire);
+        let free = self.capacity() - tail.wrapping_sub(head);
+        let n = free.min(batch.len());
+        for (i, value) in batch.drain(..n).enumerate() {
+            // SAFETY: same contract as `try_push`: these slots are between
+            // the consumer's head and the producer's new tail.
+            unsafe {
+                (*self.slots[tail.wrapping_add(i) & self.mask].get()).write(value);
+            }
+        }
+        // Publish the whole batch with one release store.
+        self.tail.0.store(tail.wrapping_add(n), Ordering::Release);
+        n
+    }
+
+    /// Pops up to `max` elements into `out`; returns how many were dequeued.
+    pub fn pop_batch(&self, out: &mut Vec<T>, max: usize) -> usize {
+        let mut n = 0;
+        while n < max {
+            match self.try_pop() {
+                Some(v) => {
+                    out.push(v);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
+}
+
+impl<T> Drop for SpscRing<T> {
+    fn drop(&mut self) {
+        // Drain remaining elements so their destructors run.
+        while self.try_pop().is_some() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order() {
+        let r = SpscRing::new(8);
+        for i in 0..8 {
+            r.try_push(i).unwrap();
+        }
+        assert!(r.is_full());
+        assert_eq!(r.try_push(99), Err(99));
+        for i in 0..8 {
+            assert_eq!(r.try_pop(), Some(i));
+        }
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn capacity_rounds_up() {
+        let r: SpscRing<u8> = SpscRing::new(5);
+        assert_eq!(r.capacity(), 8);
+    }
+
+    #[test]
+    fn batch_operations() {
+        let r = SpscRing::new(4);
+        let mut batch = vec![1, 2, 3, 4, 5, 6];
+        assert_eq!(r.push_batch(&mut batch), 4);
+        assert_eq!(batch, vec![5, 6]);
+        let mut out = Vec::new();
+        assert_eq!(r.pop_batch(&mut out, 10), 4);
+        assert_eq!(out, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn wraparound_many_times() {
+        let r = SpscRing::new(4);
+        for round in 0..100u64 {
+            for i in 0..3 {
+                r.try_push(round * 10 + i).unwrap();
+            }
+            for i in 0..3 {
+                assert_eq!(r.try_pop(), Some(round * 10 + i));
+            }
+        }
+    }
+
+    #[test]
+    fn drops_remaining_elements() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        #[derive(Debug)]
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        {
+            let r = SpscRing::new(4);
+            r.try_push(D).unwrap();
+            r.try_push(D).unwrap();
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn cross_thread_stress() {
+        let r = Arc::new(SpscRing::new(64));
+        let producer = {
+            let r = Arc::clone(&r);
+            std::thread::spawn(move || {
+                for i in 0..20_000u64 {
+                    loop {
+                        if r.try_push(i).is_ok() {
+                            break;
+                        }
+                        std::hint::spin_loop();
+                    }
+                }
+            })
+        };
+        let mut expected = 0u64;
+        while expected < 20_000 {
+            if let Some(v) = r.try_pop() {
+                assert_eq!(v, expected);
+                expected += 1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn addresses_are_distinct_lines() {
+        let r: SpscRing<u64> = SpscRing::new(8);
+        assert_ne!(r.head_addr() / 64, r.tail_addr() / 64, "false sharing");
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests for the collection crate's invariants.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use utps_collections::{CountMinSketch, LatencyHistogram, SortedCache, SpscRing, TopK};
+
+proptest! {
+    /// The SPSC ring is FIFO-equivalent to a bounded VecDeque under any
+    /// interleaving of pushes and pops.
+    #[test]
+    fn ring_matches_deque_model(ops in vec(any::<Option<u16>>(), 1..400)) {
+        let ring = SpscRing::new(16);
+        let mut model: VecDeque<u16> = VecDeque::new();
+        for op in ops {
+            match op {
+                Some(v) => {
+                    let accepted = ring.try_push(v).is_ok();
+                    let model_accepts = model.len() < ring.capacity();
+                    prop_assert_eq!(accepted, model_accepts);
+                    if accepted {
+                        model.push_back(v);
+                    }
+                }
+                None => {
+                    prop_assert_eq!(ring.try_pop(), model.pop_front());
+                }
+            }
+            prop_assert_eq!(ring.len(), model.len());
+        }
+    }
+
+    /// Batch push/pop preserve order and count exactly.
+    #[test]
+    fn ring_batches_preserve_order(chunks in vec(vec(any::<u32>(), 0..12), 1..40)) {
+        let ring = SpscRing::new(32);
+        let mut model: VecDeque<u32> = VecDeque::new();
+        let mut out = Vec::new();
+        for chunk in chunks {
+            let mut batch = chunk.clone();
+            let n = ring.push_batch(&mut batch);
+            for v in chunk.into_iter().take(n) {
+                model.push_back(v);
+            }
+            out.clear();
+            let popped = ring.pop_batch(&mut out, 5);
+            prop_assert_eq!(popped, out.len());
+            for v in &out {
+                prop_assert_eq!(Some(*v), model.pop_front());
+            }
+        }
+    }
+
+    /// Count-min never underestimates, for arbitrary key streams.
+    #[test]
+    fn sketch_never_underestimates(keys in vec(0u64..500, 1..2000)) {
+        let mut s = CountMinSketch::new(512, 4);
+        let mut exact = std::collections::HashMap::new();
+        for &k in &keys {
+            s.increment(k);
+            *exact.entry(k).or_insert(0u32) += 1;
+        }
+        for (&k, &c) in &exact {
+            prop_assert!(s.estimate(k) >= c, "under-estimate for {}", k);
+        }
+    }
+
+    /// TopK contains the exact top-k when counts are distinct and offered
+    /// monotonically.
+    #[test]
+    fn topk_exact_with_distinct_counts(perm in Just(()).prop_flat_map(|_| {
+        vec(0u64..1000, 20..100).prop_map(|mut v| {
+            v.sort_unstable();
+            v.dedup();
+            v
+        })
+    })) {
+        let mut t = TopK::new(8);
+        // Count of key k is k+1 (distinct).
+        for &k in &perm {
+            t.offer(k, k as u32 + 1);
+        }
+        let mut expect = perm.clone();
+        expect.sort_unstable_by(|a, b| b.cmp(a));
+        expect.truncate(8);
+        let mut got: Vec<u64> = t.sorted_desc().into_iter().map(|(k, _)| k).collect();
+        got.sort_unstable_by(|a, b| b.cmp(a));
+        expect.sort_unstable_by(|a, b| b.cmp(a));
+        prop_assert_eq!(got, expect);
+    }
+
+    /// SortedCache::get agrees with a BTreeMap built from the same pairs
+    /// (last duplicate wins).
+    #[test]
+    fn sorted_cache_matches_map(pairs in vec((0u64..200, any::<u32>()), 0..300), probes in vec(0u64..250, 0..50)) {
+        let mut model = std::collections::BTreeMap::new();
+        for &(k, v) in &pairs {
+            model.insert(k, v);
+        }
+        let cache = SortedCache::build(pairs);
+        prop_assert_eq!(cache.len(), model.len());
+        for p in probes {
+            prop_assert_eq!(cache.get(p).copied(), model.get(&p).copied());
+        }
+    }
+
+    /// Histogram percentiles are within 5% relative error of exact order
+    /// statistics.
+    #[test]
+    fn histogram_error_bound(values in vec(1u64..1_000_000, 50..500)) {
+        let mut h = LatencyHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for p in [25.0, 50.0, 90.0] {
+            let idx = ((p / 100.0) * sorted.len() as f64).ceil() as usize - 1;
+            let exact = sorted[idx.min(sorted.len() - 1)];
+            let approx = h.percentile(p);
+            let err = (approx as f64 - exact as f64).abs() / exact as f64;
+            prop_assert!(err < 0.05, "p{}: exact {} approx {}", p, exact, approx);
+        }
+    }
+}

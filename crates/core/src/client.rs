@@ -1,0 +1,319 @@
+//! Closed-loop clients and measurement plumbing shared by every system.
+//!
+//! Each client thread keeps a fixed number of requests outstanding
+//! (pipelining, as the paper's client nodes do to generate maximum load),
+//! records per-request latency after the warmup boundary, and periodically
+//! samples throughput into a timeline for the dynamic-workload experiment
+//! (Figure 14). Clients run on unmodeled (client-node) CPUs: their compute
+//! is charged as constants and their traffic goes through the shared fabric
+//! pipes, so the server NIC's bandwidth and message-rate limits still apply.
+
+use utps_collections::LatencyHistogram;
+use utps_sim::nic::Fabric;
+use utps_sim::time::{SimTime, NANOS};
+use utps_sim::{Ctx, Process};
+use utps_workload::{Op, Workload};
+
+use crate::msg::{NetMsg, Request};
+
+/// Per-client measurement state.
+#[derive(Default)]
+pub struct ClientStats {
+    /// Operations completed after warmup.
+    pub completed: u64,
+    /// Operations completed including warmup.
+    pub completed_total: u64,
+    /// Latency histogram (nanoseconds), post-warmup.
+    pub hist: LatencyHistogram,
+    /// Data payload bytes received post-warmup.
+    pub payload_bytes: u64,
+    /// Gets that returned `ok = false` (missing keys).
+    pub not_found: u64,
+}
+
+/// Measurement state shared by the driver side of every world.
+pub struct DriverState {
+    /// Per-client stats.
+    pub clients: Vec<ClientStats>,
+    /// Measurement starts here (end of warmup).
+    pub measure_start: SimTime,
+    /// Throughput timeline: (time, completed-so-far) samples.
+    pub timeline: Vec<(SimTime, u64)>,
+}
+
+impl DriverState {
+    /// Creates driver state for `clients` clients with the given warmup
+    /// boundary.
+    pub fn new(clients: usize, measure_start: SimTime) -> Self {
+        DriverState {
+            clients: (0..clients).map(|_| ClientStats::default()).collect(),
+            measure_start,
+            timeline: Vec::new(),
+        }
+    }
+
+    /// Total post-warmup completions across clients.
+    pub fn completed(&self) -> u64 {
+        self.clients.iter().map(|c| c.completed).sum()
+    }
+
+    /// Total completions including warmup (the tuner's feedback signal).
+    pub fn completed_total(&self) -> u64 {
+        self.clients.iter().map(|c| c.completed_total).sum()
+    }
+
+    /// Merged latency histogram.
+    pub fn merged_hist(&self) -> LatencyHistogram {
+        let mut h = LatencyHistogram::new();
+        for c in &self.clients {
+            h.merge(&c.hist);
+        }
+        h
+    }
+}
+
+/// Access every KVS world must grant to the shared driver machinery.
+pub trait KvWorld {
+    /// The network fabric.
+    fn fabric_mut(&mut self) -> &mut Fabric<NetMsg>;
+
+    /// The driver (clients/measurement) state.
+    fn driver_mut(&mut self) -> &mut DriverState;
+}
+
+/// A closed-loop client process.
+pub struct ClientProc {
+    id: u32,
+    workload: Box<dyn Workload + Send>,
+    pipeline: usize,
+    outstanding: usize,
+    next_seq: u64,
+    value_fill: u8,
+}
+
+impl ClientProc {
+    /// Creates a client keeping `pipeline` requests outstanding.
+    pub fn new(id: u32, workload: Box<dyn Workload + Send>, pipeline: usize) -> Self {
+        ClientProc {
+            id,
+            workload,
+            pipeline: pipeline.max(1),
+            outstanding: 0,
+            next_seq: 0,
+            value_fill: 0x40 + (id as u8 & 0x3f),
+        }
+    }
+
+    /// The deterministic fill byte this client writes (for data checks).
+    pub fn fill_byte(id: u32) -> u8 {
+        0x40 + (id as u8 & 0x3f)
+    }
+}
+
+impl<W: KvWorld> Process<W> for ClientProc {
+    fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut W) {
+        let now = ctx.now();
+        self.workload.set_time_ns(now.as_nanos());
+        let measure_start = world.driver_mut().measure_start;
+        // Drain responses.
+        let mut drained = 0;
+        while let Some(msg) = world.fabric_mut().client_poll(self.id as usize, now) {
+            let resp = match msg {
+                NetMsg::Resp(r) => r,
+                NetMsg::Req(_) => unreachable!("client received a request"),
+            };
+            self.outstanding -= 1;
+            drained += 1;
+            let stats = &mut world.driver_mut().clients[self.id as usize];
+            stats.completed_total += 1;
+            if now >= measure_start {
+                stats.completed += 1;
+                stats.hist.record((now - resp.sent_at) / NANOS);
+                stats.payload_bytes += resp.wire_len() as u64;
+                if !resp.ok {
+                    stats.not_found += 1;
+                }
+            }
+        }
+        if drained > 0 {
+            ctx.compute_ns(15 * drained);
+        }
+        // Refill the pipeline.
+        let mut sent = 0;
+        while self.outstanding < self.pipeline {
+            let op = self.workload.next_op();
+            let value = match &op {
+                Op::Put { value_len, .. } => {
+                    Some(vec![self.value_fill; *value_len].into_boxed_slice())
+                }
+                _ => None,
+            };
+            let req = Request {
+                client: self.id,
+                seq: self.next_seq,
+                op,
+                value,
+                sent_at: ctx.now(),
+            };
+            self.next_seq += 1;
+            let wire = req.wire_len();
+            let now = ctx.now();
+            world.fabric_mut().client_send(now, wire, NetMsg::Req(req));
+            ctx.compute_ns(30);
+            self.outstanding += 1;
+            sent += 1;
+        }
+        if drained == 0 && sent == 0 {
+            // Pipeline full and nothing arrived: sleep until the next
+            // delivery to keep the event count down.
+            if let Some(at) = world.fabric_mut().client_next_at(self.id as usize) {
+                ctx.advance_to(at);
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "client"
+    }
+}
+
+/// A sampler process recording the throughput timeline.
+pub struct SamplerProc {
+    interval: u64,
+    next: SimTime,
+}
+
+impl SamplerProc {
+    /// Samples every `interval` picoseconds.
+    pub fn new(interval: u64) -> Self {
+        SamplerProc {
+            interval,
+            next: SimTime(interval),
+        }
+    }
+}
+
+impl<W: KvWorld> Process<W> for SamplerProc {
+    fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut W) {
+        let now = ctx.now();
+        if now >= self.next {
+            let total = world.driver_mut().completed_total();
+            world.driver_mut().timeline.push((now, total));
+            self.next = now + self.interval;
+        }
+        ctx.advance_to(self.next);
+    }
+
+    fn name(&self) -> &'static str {
+        "sampler"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use utps_sim::config::MachineConfig;
+    use utps_sim::{Engine, StatClass};
+    use utps_workload::{Mix, YcsbWorkload};
+
+    /// A minimal echo world: the "server" is a process bouncing requests.
+    struct EchoWorld {
+        fabric: Fabric<NetMsg>,
+        driver: DriverState,
+    }
+
+    impl KvWorld for EchoWorld {
+        fn fabric_mut(&mut self) -> &mut Fabric<NetMsg> {
+            &mut self.fabric
+        }
+        fn driver_mut(&mut self) -> &mut DriverState {
+            &mut self.driver
+        }
+    }
+
+    struct EchoServer;
+
+    impl Process<EchoWorld> for EchoServer {
+        fn step(&mut self, ctx: &mut Ctx<'_>, w: &mut EchoWorld) {
+            let now = ctx.now();
+            if let Some(NetMsg::Req(req)) = w.fabric.server_poll(now) {
+                ctx.compute_ns(100);
+                let resp = crate::msg::Response {
+                    client: req.client,
+                    seq: req.seq,
+                    ok: true,
+                    value: None,
+                    scan_count: 0,
+                    payload_extra: 0,
+                    resp_addr: 0,
+                    sent_at: req.sent_at,
+                };
+                let now = ctx.now();
+                w.fabric
+                    .server_send(now, resp.wire_len(), req.client as usize, NetMsg::Resp(resp));
+            }
+        }
+    }
+
+    #[test]
+    fn closed_loop_reaches_steady_state() {
+        let clients = 2;
+        let world = EchoWorld {
+            fabric: Fabric::new(Default::default(), clients),
+            driver: DriverState::new(clients, SimTime::from_micros(50)),
+        };
+        let mut eng = Engine::new(MachineConfig::tiny(), 1, world);
+        eng.spawn(Some(0), StatClass::Other, Box::new(EchoServer));
+        for id in 0..clients {
+            let wl = YcsbWorkload::new(
+                Mix::C,
+                utps_workload::KeyDist::uniform(100),
+                8,
+                50,
+                42,
+                id as u64,
+            );
+            eng.spawn(
+                None,
+                StatClass::Other,
+                Box::new(ClientProc::new(id as u32, Box::new(wl), 4)),
+            );
+        }
+        eng.spawn(
+            None,
+            StatClass::Other,
+            Box::new(SamplerProc::new(utps_sim::time::MICROS * 100)),
+        );
+        eng.run_until(SimTime::from_millis(1));
+        let d = &eng.world.driver;
+        assert!(d.completed() > 100, "only {} completed", d.completed());
+        // Latency must be at least the RTT (~1.8 μs).
+        let p50 = d.merged_hist().percentile(50.0);
+        assert!(p50 >= 1_800, "p50 {p50} ns below physical RTT");
+        assert!(!d.timeline.is_empty());
+        // Timeline is monotone.
+        for w in d.timeline.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn warmup_excluded_from_stats() {
+        let world = EchoWorld {
+            fabric: Fabric::new(Default::default(), 1),
+            driver: DriverState::new(1, SimTime::MAX), // never measure
+        };
+        let mut eng = Engine::new(MachineConfig::tiny(), 1, world);
+        eng.spawn(Some(0), StatClass::Other, Box::new(EchoServer));
+        let wl = YcsbWorkload::new(Mix::C, utps_workload::KeyDist::uniform(10), 8, 50, 1, 0);
+        eng.spawn(
+            None,
+            StatClass::Other,
+            Box::new(ClientProc::new(0, Box::new(wl), 2)),
+        );
+        eng.run_until(SimTime::from_micros(500));
+        let d = &eng.world.driver;
+        assert_eq!(d.completed(), 0);
+        assert!(d.completed_total() > 0);
+    }
+}

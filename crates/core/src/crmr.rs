@@ -1,0 +1,456 @@
+//! The CR-MR queue (§3.4): all-to-all lock-free lanes between layers.
+//!
+//! Every (CR worker, MR worker) pair owns a dedicated SPSC ring of compact
+//! 16-byte request descriptors, so no lane ever has two producers or two
+//! consumers. CR workers spread requests over MR workers round-robin; MR
+//! workers scan the lanes of all CR producers. Pushes and pops move whole
+//! batches (multi-request slots) to amortize the index-word traffic, and
+//! completions are signaled by advancing a per-lane tail counter only after
+//! the entire batch's responses sit in the response buffers — the paper's
+//! piggybacked completion.
+
+use utps_collections::{MpmcQueue, SpscRing};
+use utps_sim::Ctx;
+
+use crate::msg::OpKind;
+
+/// How the CR-MR queue moves descriptors between cores.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueueKind {
+    /// The paper's software design: all-to-all lock-free SPSC lanes whose
+    /// index words and slots travel through the cache-coherence fabric.
+    AllToAll,
+    /// Intel DLB-style hardware queuing (the paper's future-work extension,
+    /// §6): enqueue/dequeue are MMIO doorbells to a hardware arbiter, so no
+    /// producer/consumer cache lines bounce between cores. Modeled as the
+    /// same lane structure with fixed per-operation port costs.
+    Dlb,
+    /// The §3.4 counterfactual: ONE shared MPMC queue instead of per-pair
+    /// lanes. Every producer and consumer contends on the same two cursor
+    /// cache lines, multi-request slots are impossible, and completions ride
+    /// a per-producer MPMC back-channel. Exists to measure what the paper's
+    /// all-to-all design avoids.
+    SharedMpmc,
+}
+
+/// Per-op cost of a DLB port doorbell (enqueue or dequeue), picoseconds.
+const DLB_PORT_PS: u64 = 24_000;
+
+/// The paper's compact request descriptor. Charged as 16 bytes on the ring
+/// (key 8 B, buf 4 B, type+size 4 B); Rust-side it also carries the full
+/// 64-bit slot sequence for bookkeeping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Desc {
+    /// The (possibly hashed) 8-byte key.
+    pub key: u64,
+    /// Receive-buffer slot sequence number (the `buf` field).
+    pub seq: u64,
+    /// Operation type.
+    pub kind: OpKind,
+    /// KV item size hint.
+    pub size: u32,
+}
+
+/// Wire size of a descriptor (§3.4).
+pub const DESC_BYTES: usize = 16;
+
+/// One SPSC lane plus its completion counter.
+struct Lane {
+    ring: SpscRing<Desc>,
+    /// Batch sizes in flight, FIFO (consumer side bookkeeping).
+    completed: u64,
+    pushed: u64,
+}
+
+/// The all-to-all CR-MR queue over `workers` total worker threads.
+///
+/// Lanes are indexed by *worker ids*, not roles, so thread reassignment
+/// (§3.5) never invalidates a lane — a worker that switches layers simply
+/// starts using the other side of its lanes.
+/// Shared-queue state for [`QueueKind::SharedMpmc`].
+struct SharedState {
+    req: MpmcQueue<Desc>,
+    comps: Vec<MpmcQueue<u64>>,
+    pushed: Vec<u64>,
+    completed: Vec<u64>,
+}
+
+pub struct CrMrQueue {
+    workers: usize,
+    kind: QueueKind,
+    lanes: Vec<Lane>,
+    shared: Option<SharedState>,
+}
+
+impl CrMrQueue {
+    /// Creates the queue for `workers` workers with `capacity` descriptors
+    /// per lane.
+    pub fn new(workers: usize, capacity: usize) -> Self {
+        CrMrQueue::with_kind(workers, capacity, QueueKind::AllToAll)
+    }
+
+    /// Creates the queue with an explicit transport kind.
+    pub fn with_kind(workers: usize, capacity: usize, kind: QueueKind) -> Self {
+        let shared = (kind == QueueKind::SharedMpmc).then(|| SharedState {
+            req: MpmcQueue::new(capacity * workers),
+            comps: (0..workers).map(|_| MpmcQueue::new(capacity)).collect(),
+            pushed: vec![0; workers],
+            completed: vec![0; workers],
+        });
+        CrMrQueue {
+            workers,
+            kind,
+            lanes: (0..workers * workers)
+                .map(|_| Lane {
+                    ring: SpscRing::new(capacity),
+                    completed: 0,
+                    pushed: 0,
+                })
+                .collect(),
+            shared,
+        }
+    }
+
+    /// Whether this queue runs in the shared-MPMC counterfactual mode.
+    pub fn is_shared(&self) -> bool {
+        self.kind == QueueKind::SharedMpmc
+    }
+
+    /// Shared mode: pushes one descriptor, contending on the global enqueue
+    /// cursor. Returns false when the queue is full.
+    pub fn push_shared(&mut self, ctx: &mut Ctx<'_>, producer: usize, d: Desc) -> bool {
+        let s = self.shared.as_mut().expect("not in shared mode");
+        // Every producer CASes the same cursor line: the storm is real.
+        ctx.atomic(s.req.enqueue_addr());
+        match s.req.try_push(d) {
+            Ok(()) => {
+                ctx.write(s.req.enqueue_addr() + 128, DESC_BYTES);
+                s.pushed[producer] += 1;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Shared mode: pops up to `max` descriptors; every consumer contends on
+    /// the global dequeue cursor (one CAS per element — no batch publish).
+    pub fn pop_shared(&mut self, ctx: &mut Ctx<'_>, out: &mut Vec<Desc>, max: usize) -> usize {
+        let s = self.shared.as_mut().expect("not in shared mode");
+        let mut n = 0;
+        while n < max {
+            ctx.atomic(s.req.dequeue_addr());
+            match s.req.try_pop() {
+                Some(d) => {
+                    ctx.read(s.req.dequeue_addr() + 128, DESC_BYTES);
+                    out.push(d);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
+
+    /// Shared mode: signals completion of `seq` back to `producer`.
+    pub fn complete_shared(&mut self, ctx: &mut Ctx<'_>, producer: usize, seq: u64) {
+        let s = self.shared.as_mut().expect("not in shared mode");
+        ctx.atomic(s.comps[producer].enqueue_addr());
+        ctx.write(s.comps[producer].enqueue_addr() + 128, 8);
+        s.comps[producer]
+            .try_push(seq)
+            .expect("completion queue sized for the request queue");
+        s.completed[producer] += 1;
+    }
+
+    /// Shared mode: pops a completed seq for `producer`.
+    pub fn pop_completion_shared(&mut self, ctx: &mut Ctx<'_>, producer: usize) -> Option<u64> {
+        let s = self.shared.as_mut().expect("not in shared mode");
+        ctx.read(s.comps[producer].dequeue_addr(), 8);
+        let r = s.comps[producer].try_pop();
+        if r.is_some() {
+            ctx.atomic(s.comps[producer].dequeue_addr());
+        }
+        r
+    }
+
+    /// Total workers the queue was sized for.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    #[inline]
+    fn lane(&self, producer: usize, consumer: usize) -> &Lane {
+        &self.lanes[producer * self.workers + consumer]
+    }
+
+    #[inline]
+    fn lane_mut(&mut self, producer: usize, consumer: usize) -> &mut Lane {
+        &mut self.lanes[producer * self.workers + consumer]
+    }
+
+    /// Producer side: pushes a batch of descriptors into lane
+    /// (`producer` → `consumer`). Returns how many were accepted (the rest
+    /// stay in `batch`).
+    pub fn push_batch(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        producer: usize,
+        consumer: usize,
+        batch: &mut Vec<Desc>,
+    ) -> usize {
+        let kind = self.kind;
+        let lane = self.lane_mut(producer, consumer);
+        if batch.is_empty() {
+            return 0;
+        }
+        match kind {
+            QueueKind::AllToAll => {
+                // One head probe + slot writes + one tail publish.
+                ctx.read(lane.ring.head_addr(), 8);
+                let start = lane.pushed;
+                let n = lane.ring.push_batch(batch);
+                if n > 0 {
+                    ctx.write(lane.ring.slot_addr(start as usize), DESC_BYTES * n);
+                    ctx.atomic(lane.ring.tail_addr());
+                    lane.pushed += n as u64;
+                }
+                n
+            }
+            QueueKind::Dlb => {
+                // One port doorbell moves the whole burst into the device.
+                ctx.compute_ps(DLB_PORT_PS);
+                let n = lane.ring.push_batch(batch);
+                lane.pushed += n as u64;
+                n
+            }
+            QueueKind::SharedMpmc => unreachable!("use push_shared"),
+        }
+    }
+
+    /// Consumer side: pops up to `max` descriptors from lane
+    /// (`producer` → `consumer`).
+    pub fn pop_batch(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        producer: usize,
+        consumer: usize,
+        out: &mut Vec<Desc>,
+        max: usize,
+    ) -> usize {
+        let kind = self.kind;
+        let lane = self.lane_mut(producer, consumer);
+        match kind {
+            QueueKind::AllToAll => {
+                ctx.read(lane.ring.tail_addr(), 8);
+                if lane.ring.is_empty() {
+                    return 0;
+                }
+                // Slots between head and tail start at (pushed - len).
+                let first = lane.pushed - lane.ring.len() as u64;
+                let n = lane.ring.pop_batch(out, max);
+                if n > 0 {
+                    ctx.read(lane.ring.slot_addr(first as usize), DESC_BYTES * n);
+                    ctx.write(lane.ring.head_addr(), 8);
+                }
+                n
+            }
+            QueueKind::Dlb => {
+                if lane.ring.is_empty() {
+                    return 0;
+                }
+                ctx.compute_ps(DLB_PORT_PS);
+                lane.ring.pop_batch(out, max)
+            }
+            QueueKind::SharedMpmc => unreachable!("use pop_shared"),
+        }
+    }
+
+    /// Consumer side: signals that `n` more descriptors from this lane have
+    /// completed processing (their responses are in the response buffers).
+    pub fn complete(&mut self, ctx: &mut Ctx<'_>, producer: usize, consumer: usize, n: u64) {
+        let kind = self.kind;
+        let lane = self.lane_mut(producer, consumer);
+        lane.completed += n;
+        match kind {
+            QueueKind::AllToAll => {
+                let addr = &lane.completed as *const u64 as usize;
+                ctx.write(addr, 8);
+            }
+            QueueKind::Dlb => ctx.compute_ps(DLB_PORT_PS),
+            QueueKind::SharedMpmc => unreachable!("use complete_shared"),
+        }
+    }
+
+    /// Producer side: reads the lane's completion counter.
+    pub fn completed(&self, ctx: &mut Ctx<'_>, producer: usize, consumer: usize) -> u64 {
+        let lane = self.lane(producer, consumer);
+        match self.kind {
+            QueueKind::AllToAll => {
+                let addr = &lane.completed as *const u64 as usize;
+                ctx.read(addr, 8);
+            }
+            QueueKind::Dlb => ctx.compute_ps(DLB_PORT_PS / 4),
+            QueueKind::SharedMpmc => unreachable!("use pop_completion_shared"),
+        }
+        lane.completed
+    }
+
+    /// Uncharged: descriptors currently queued in the lane.
+    pub fn lane_len(&self, producer: usize, consumer: usize) -> usize {
+        self.lane(producer, consumer).ring.len()
+    }
+
+    /// Uncharged: whether every lane into `consumer` is drained and fully
+    /// completed (the §3.5 role-switch precondition).
+    pub fn consumer_idle(&self, consumer: usize) -> bool {
+        if let Some(s) = &self.shared {
+            return s.req.is_empty();
+        }
+        (0..self.workers).all(|p| {
+            let lane = self.lane(p, consumer);
+            lane.ring.is_empty() && lane.completed == lane.pushed
+        })
+    }
+
+    /// Uncharged: whether every lane out of `producer` is fully completed
+    /// (all its forwarded requests have answered).
+    pub fn producer_idle(&self, producer: usize) -> bool {
+        if let Some(s) = &self.shared {
+            return s.pushed[producer] == s.completed[producer]
+                && s.comps[producer].is_empty();
+        }
+        (0..self.workers).all(|c| {
+            let lane = self.lane(producer, c);
+            lane.ring.is_empty() && lane.completed == lane.pushed
+        })
+    }
+
+    /// Uncharged peek of a lane's completion counter (role-switch resync:
+    /// a worker re-entering the CR role must not re-interpret completions
+    /// from its previous incarnation).
+    pub fn completed_peek(&self, producer: usize, consumer: usize) -> u64 {
+        self.lane(producer, consumer).completed
+    }
+
+    /// Uncharged: total descriptors pushed across all lanes (stats).
+    pub fn total_pushed(&self) -> u64 {
+        self.lanes.iter().map(|l| l.pushed).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use utps_sim::config::MachineConfig;
+    use utps_sim::time::SimTime;
+    use utps_sim::{Engine, Process, StatClass};
+
+    fn desc(key: u64, seq: u64) -> Desc {
+        Desc {
+            key,
+            seq,
+            kind: OpKind::Get,
+            size: 8,
+        }
+    }
+
+    fn with_queue<R: 'static>(
+        q: CrMrQueue,
+        f: impl FnOnce(&mut Ctx<'_>, &mut CrMrQueue) -> R + 'static,
+    ) -> (R, CrMrQueue) {
+        struct Once<F, R> {
+            f: Option<F>,
+            out: Rc<RefCell<Option<R>>>,
+        }
+        impl<F: FnOnce(&mut Ctx<'_>, &mut CrMrQueue) -> R, R> Process<CrMrQueue> for Once<F, R> {
+            fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut CrMrQueue) {
+                if let Some(f) = self.f.take() {
+                    *self.out.borrow_mut() = Some(f(ctx, world));
+                }
+                ctx.halt();
+            }
+        }
+        let out = Rc::new(RefCell::new(None));
+        let mut eng = Engine::new(MachineConfig::tiny(), 2, q);
+        eng.spawn(
+            Some(0),
+            StatClass::Cr,
+            Box::new(Once { f: Some(f), out: Rc::clone(&out) }),
+        );
+        eng.run_until(SimTime::from_millis(1));
+        let r = out.borrow_mut().take().expect("did not run");
+        (r, eng.world)
+    }
+
+    #[test]
+    fn push_pop_complete_cycle() {
+        let q = CrMrQueue::new(4, 64);
+        let ((), q) = with_queue(q, |ctx, q| {
+            let mut batch = vec![desc(1, 10), desc(2, 11), desc(3, 12)];
+            assert_eq!(q.push_batch(ctx, 0, 2, &mut batch), 3);
+            assert!(batch.is_empty());
+            assert_eq!(q.lane_len(0, 2), 3);
+            let mut out = Vec::new();
+            assert_eq!(q.pop_batch(ctx, 0, 2, &mut out, 10), 3);
+            assert_eq!(out[0].key, 1);
+            assert_eq!(out[2].seq, 12);
+            assert_eq!(q.completed(ctx, 0, 2), 0);
+            q.complete(ctx, 0, 2, 3);
+            assert_eq!(q.completed(ctx, 0, 2), 3);
+        });
+        assert!(q.consumer_idle(2));
+        assert!(q.producer_idle(0));
+    }
+
+    #[test]
+    fn lanes_are_independent() {
+        let q = CrMrQueue::new(3, 16);
+        let ((), q) = with_queue(q, |ctx, q| {
+            let mut b1 = vec![desc(1, 1)];
+            let mut b2 = vec![desc(2, 2)];
+            q.push_batch(ctx, 0, 1, &mut b1);
+            q.push_batch(ctx, 2, 1, &mut b2);
+            let mut out = Vec::new();
+            assert_eq!(q.pop_batch(ctx, 0, 1, &mut out, 10), 1);
+            assert_eq!(out[0].key, 1);
+            out.clear();
+            assert_eq!(q.pop_batch(ctx, 2, 1, &mut out, 10), 1);
+            assert_eq!(out[0].key, 2);
+            assert_eq!(q.pop_batch(ctx, 1, 0, &mut out, 10), 0);
+        });
+        assert!(!q.consumer_idle(1), "completions still outstanding");
+    }
+
+    #[test]
+    fn capacity_limits_push() {
+        let q = CrMrQueue::new(2, 4);
+        let ((), _) = with_queue(q, |ctx, q| {
+            let mut batch: Vec<Desc> = (0..6).map(|i| desc(i, i)).collect();
+            assert_eq!(q.push_batch(ctx, 0, 1, &mut batch), 4);
+            assert_eq!(batch.len(), 2, "overflow must remain with producer");
+            let mut out = Vec::new();
+            q.pop_batch(ctx, 0, 1, &mut out, 2);
+            assert_eq!(q.push_batch(ctx, 0, 1, &mut batch), 2);
+        });
+    }
+
+    #[test]
+    fn idle_checks_respect_pending_completions() {
+        let q = CrMrQueue::new(2, 8);
+        let ((), q) = with_queue(q, |ctx, q| {
+            let mut batch = vec![desc(5, 50)];
+            q.push_batch(ctx, 0, 1, &mut batch);
+            let mut out = Vec::new();
+            q.pop_batch(ctx, 0, 1, &mut out, 1);
+            // Popped but not completed: neither side is idle.
+            assert!(!q.consumer_idle(1));
+            assert!(!q.producer_idle(0));
+            q.complete(ctx, 0, 1, 1);
+        });
+        assert!(q.consumer_idle(1));
+        assert!(q.producer_idle(0));
+        assert_eq!(q.total_pushed(), 1);
+    }
+}

@@ -1,0 +1,489 @@
+//! Experiment harness: builds a μTPS server world, drives it with closed-loop
+//! clients, and extracts the measurements the paper reports.
+//!
+//! Baseline systems (BaseKV, eRPCKV, passive KVSs) reuse this module's
+//! [`RunConfig`]/[`RunResult`] and client machinery from `utps-baselines`.
+
+use utps_index::IndexKind;
+use utps_sim::config::MachineConfig;
+use utps_sim::time::{SimTime, MICROS, SECS};
+use utps_sim::{Engine, StatClass};
+use utps_workload::{
+    DynamicWorkload, EtcWorkload, Mix, KeyDist, TwitterCluster, TwitterWorkload, Workload,
+    YcsbWorkload,
+};
+
+use crate::client::{ClientProc, DriverState, SamplerProc};
+use crate::crmr::CrMrQueue;
+use crate::hotcache::HotCache;
+use crate::rpc::{RecvRing, RespBuffers};
+use crate::server::{ServerConfig, UtpsWorker, UtpsWorld};
+use crate::store::KvStore;
+use crate::tuner::{ManagerProc, Tuner, TunerEvent, TunerMode, TunerParams};
+
+/// Which system to run (dispatch lives in `utps-baselines::run`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SystemKind {
+    /// μTPS (this crate).
+    Utps,
+    /// Run-to-completion baseline with the same RPC/batching/prefetching.
+    BaseKv,
+    /// eRPC + share-nothing key-mod dispatch.
+    ErpcKv,
+    /// Passive one-sided-RDMA hash KVS (RACE hashing).
+    RaceHash,
+    /// Passive one-sided-RDMA B+-tree KVS (Sherman).
+    Sherman,
+}
+
+impl SystemKind {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SystemKind::Utps => "uTPS",
+            SystemKind::BaseKv => "BaseKV",
+            SystemKind::ErpcKv => "eRPCKV",
+            SystemKind::RaceHash => "RaceHash",
+            SystemKind::Sherman => "Sherman",
+        }
+    }
+}
+
+/// Which workload to generate.
+#[derive(Clone, Debug)]
+pub enum WorkloadSpec {
+    /// YCSB-style mix.
+    Ycsb {
+        /// Operation mix.
+        mix: Mix,
+        /// Zipfian θ (0 = uniform).
+        theta: f64,
+        /// Item size.
+        value_len: usize,
+        /// Mean scan length.
+        scan_len: usize,
+    },
+    /// Meta ETC pool.
+    Etc {
+        /// Fraction of gets.
+        get_ratio: f64,
+    },
+    /// Twitter cluster trace.
+    Twitter {
+        /// Which cluster.
+        cluster: TwitterCluster,
+    },
+    /// Figure 14: YCSB-A, 512 B → 8 B at `switch_ns`.
+    Fig14 {
+        /// Value-size switch time (ns since measurement start).
+        switch_ns: u64,
+    },
+}
+
+impl WorkloadSpec {
+    /// Builds a per-client generator stream.
+    pub fn build(&self, keys: u64, seed: u64, stream: u64) -> Box<dyn Workload + Send> {
+        match self {
+            WorkloadSpec::Ycsb {
+                mix,
+                theta,
+                value_len,
+                scan_len,
+            } => Box::new(YcsbWorkload::new(
+                *mix,
+                KeyDist::zipf(keys, *theta),
+                *value_len,
+                *scan_len,
+                seed,
+                stream,
+            )),
+            WorkloadSpec::Etc { get_ratio } => {
+                Box::new(EtcWorkload::new(keys, *get_ratio, seed, stream))
+            }
+            WorkloadSpec::Twitter { cluster } => {
+                Box::new(TwitterWorkload::new(*cluster, keys, seed, stream))
+            }
+            WorkloadSpec::Fig14 { switch_ns } => {
+                Box::new(DynamicWorkload::figure14(keys, *switch_ns, seed, stream))
+            }
+        }
+    }
+
+    /// Representative item size for store population.
+    pub fn populate_value_len(&self) -> usize {
+        match self {
+            WorkloadSpec::Ycsb { value_len, .. } => *value_len,
+            WorkloadSpec::Etc { .. } => 64,
+            WorkloadSpec::Twitter { cluster } => cluster.params().1,
+            WorkloadSpec::Fig14 { .. } => 512,
+        }
+    }
+}
+
+/// Full configuration of one experiment run.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Index structure (μTPS-H vs μTPS-T and baseline equivalents).
+    pub index: IndexKind,
+    /// Pre-populated keys (`0..keys`).
+    pub keys: u64,
+    /// Total server worker threads.
+    pub workers: usize,
+    /// Initial CR worker count (μTPS only).
+    pub n_cr: usize,
+    /// CR-MR batch size.
+    pub batch: usize,
+    /// Client endpoints.
+    pub clients: usize,
+    /// Outstanding requests per client.
+    pub pipeline: usize,
+    /// Warmup (ps) before measurement.
+    pub warmup: u64,
+    /// Measured duration (ps).
+    pub duration: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Machine model.
+    pub machine: MachineConfig,
+    /// Workload.
+    pub workload: WorkloadSpec,
+    /// Auto-tuner mode.
+    pub tuner: TunerMode,
+    /// Tuner parameters.
+    pub tuner_params: TunerParams,
+    /// Hot-cache target size (and tuner cache_max).
+    pub hot_capacity: usize,
+    /// Whether the CR hot cache is enabled.
+    pub cache_enabled: bool,
+    /// Sample every Nth request for the hot-set tracker.
+    pub sample_every: u32,
+    /// Receive-ring slots.
+    pub ring_slots: usize,
+    /// Receive-slot size in bytes.
+    pub slot_size: usize,
+    /// Static MR way allocation (0 = all ways).
+    pub mr_ways: usize,
+    /// CR-MR queue transport (the DLB extension ablation).
+    pub queue_kind: crate::crmr::QueueKind,
+    /// Throughput timeline sampling interval (ps; 0 = off).
+    pub timeline_interval: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            index: IndexKind::Tree,
+            keys: 200_000,
+            workers: 8,
+            n_cr: 3,
+            batch: 8,
+            clients: 16,
+            pipeline: 4,
+            warmup: 2 * utps_sim::time::MILLIS,
+            duration: 6 * utps_sim::time::MILLIS,
+            seed: 42,
+            machine: MachineConfig::default(),
+            workload: WorkloadSpec::Ycsb {
+                mix: Mix::A,
+                theta: 0.99,
+                value_len: 64,
+                scan_len: 50,
+            },
+            tuner: TunerMode::Off,
+            tuner_params: TunerParams::default(),
+            hot_capacity: 2_000,
+            cache_enabled: true,
+            sample_every: 8,
+            ring_slots: 1 << 12,
+            slot_size: 1152,
+            mr_ways: 0,
+            queue_kind: crate::crmr::QueueKind::AllToAll,
+            timeline_interval: 0,
+        }
+    }
+}
+
+/// Measurements extracted from one run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Millions of operations per second over the measured window.
+    pub mops: f64,
+    /// Operations completed in the measured window.
+    pub completed: u64,
+    /// Median latency (ns).
+    pub p50_ns: u64,
+    /// 99th-percentile latency (ns).
+    pub p99_ns: u64,
+    /// Mean latency (ns).
+    pub mean_ns: f64,
+    /// LLC miss rate of CR-layer threads.
+    pub llc_miss_cr: f64,
+    /// LLC miss rate of MR-layer threads.
+    pub llc_miss_mr: f64,
+    /// Combined LLC miss rate.
+    pub llc_miss_all: f64,
+    /// Fraction of requests served entirely at the CR layer.
+    pub cr_local_frac: f64,
+    /// Final CR worker count (after tuning).
+    pub final_n_cr: usize,
+    /// Final total workers.
+    pub workers: usize,
+    /// Final hot-cache size (items).
+    pub final_cache_items: usize,
+    /// Final MR-reused LLC ways (0 = all).
+    pub final_mr_ways: usize,
+    /// Throughput timeline: (seconds, Mops in the interval).
+    pub timeline: Vec<(f64, f64)>,
+    /// Tuner events rendered for reports.
+    pub tuner_events: Vec<String>,
+    /// Thread reassignments completed.
+    pub reconfigs: usize,
+    /// `ok=false` responses observed by clients post-warmup.
+    pub not_found: u64,
+}
+
+/// Runs μTPS under `cfg` and returns its measurements.
+pub fn run_utps(cfg: &RunConfig) -> RunResult {
+    run_utps_with_world(cfg).0
+}
+
+/// Like [`run_utps`], additionally returning the final world state so tests
+/// can inspect the store, queues and caches after the run.
+pub fn run_utps_with_world(cfg: &RunConfig) -> (RunResult, UtpsWorld) {
+    let populate_len = cfg.workload.populate_value_len();
+    let store = KvStore::populate(cfg.index, cfg.keys, populate_len);
+    assert!(cfg.n_cr >= 1 && cfg.n_cr < cfg.workers, "need ≥1 worker per layer");
+
+    let server_cfg = ServerConfig {
+        workers: cfg.workers,
+        n_cr: cfg.n_cr,
+        batch: cfg.batch,
+        sample_every: cfg.sample_every,
+        cache_enabled: cfg.cache_enabled,
+    };
+    let world = UtpsWorld {
+        fabric: utps_sim::Fabric::new(cfg.machine.net.clone(), cfg.clients),
+        ring: RecvRing::new(cfg.ring_slots, cfg.slot_size),
+        resp: RespBuffers::new(cfg.workers, 64, 1152),
+        store,
+        crmr: CrMrQueue::with_kind(cfg.workers, 256, cfg.queue_kind),
+        hot: HotCache::new(if cfg.cache_enabled { cfg.hot_capacity } else { 0 }),
+        cfg: server_cfg.clone(),
+        reconfig: None,
+        samples: (0..cfg.workers).map(|_| Default::default()).collect(),
+        scan_skips: Default::default(),
+        stats: Default::default(),
+        driver: DriverState::new(cfg.clients, SimTime(cfg.warmup)),
+        mr_ways: cfg.mr_ways,
+        tuner_trace: Vec::new(),
+    };
+
+    // Cores: one per worker plus one for the manager.
+    let mut eng = Engine::new(cfg.machine.clone(), cfg.workers + 1, world);
+
+    // Static CLOS assignment when the tuner is off.
+    if cfg.mr_ways > 0 {
+        let full = eng.machine().cache.full_mask();
+        let mask = if cfg.mr_ways >= full.count_ones() as usize {
+            full
+        } else {
+            (1u32 << cfg.mr_ways) - 1
+        };
+        for w in cfg.n_cr..cfg.workers {
+            eng.machine().cache.set_clos_mask(w, mask);
+        }
+    }
+
+    for id in 0..cfg.workers {
+        let class = if id < cfg.n_cr { StatClass::Cr } else { StatClass::Mr };
+        eng.spawn(Some(id), class, Box::new(UtpsWorker::new(id, &server_cfg)));
+    }
+    // Manager on its own core.
+    let mut params = cfg.tuner_params.clone();
+    params.cache_max = cfg.hot_capacity;
+    let tuner = Tuner::new(cfg.tuner, params);
+    let refresh = (cfg.warmup / 2).max(500 * MICROS);
+    eng.spawn(
+        Some(cfg.workers),
+        StatClass::Other,
+        Box::new(ManagerProc::new(tuner, refresh, cfg.hot_capacity)),
+    );
+    for c in 0..cfg.clients {
+        let wl = cfg.workload.build(cfg.keys, cfg.seed, c as u64);
+        eng.spawn(
+            None,
+            StatClass::Other,
+            Box::new(ClientProc::new(c as u32, wl, cfg.pipeline)),
+        );
+    }
+    if cfg.timeline_interval > 0 {
+        eng.spawn(
+            None,
+            StatClass::Other,
+            Box::new(SamplerProc::new(cfg.timeline_interval)),
+        );
+    }
+
+    // Warmup, reset the PCM-style counters, then measure.
+    eng.run_until(SimTime(cfg.warmup));
+    eng.machine().cache.metrics.reset();
+    eng.world.stats.responses = 0;
+    eng.world.stats.cr_local = 0;
+    eng.world.stats.forwarded = 0;
+    eng.world.hot.reset_stats();
+    eng.run_until(SimTime(cfg.warmup + cfg.duration));
+
+    let result = extract_result(cfg, &mut eng);
+    (result, eng.world)
+}
+
+/// Builds the [`RunResult`] from a finished μTPS engine.
+pub fn extract_result(cfg: &RunConfig, eng: &mut Engine<UtpsWorld>) -> RunResult {
+    let metrics = eng.machine().cache.metrics.clone();
+    let world = &eng.world;
+    let d = &world.driver;
+    let hist = d.merged_hist();
+    let completed = d.completed();
+    let secs = cfg.duration as f64 / SECS as f64;
+    let served = world.stats.cr_local + world.stats.forwarded;
+    let timeline = render_timeline(&d.timeline, cfg.timeline_interval);
+
+    RunResult {
+        mops: completed as f64 / secs / 1e6,
+        completed,
+        p50_ns: hist.percentile(50.0),
+        p99_ns: hist.percentile(99.0),
+        mean_ns: hist.mean(),
+        llc_miss_cr: metrics.class[StatClass::Cr as usize].llc_miss_rate(),
+        llc_miss_mr: metrics.class[StatClass::Mr as usize].llc_miss_rate(),
+        llc_miss_all: metrics.combined().llc_miss_rate(),
+        cr_local_frac: if served > 0 {
+            world.stats.cr_local as f64 / served as f64
+        } else {
+            0.0
+        },
+        final_n_cr: world.cfg.n_cr,
+        workers: world.cfg.workers,
+        final_cache_items: world.hot.len(),
+        final_mr_ways: world.mr_ways,
+        timeline,
+        tuner_events: render_tuner_events(&world.tuner_trace),
+        reconfigs: world.stats.reconfig_events.len(),
+        not_found: d.clients.iter().map(|c| c.not_found).sum(),
+    }
+}
+
+/// Converts raw (time, cumulative-count) samples into (sec, Mops) intervals.
+pub fn render_timeline(samples: &[(SimTime, u64)], interval: u64) -> Vec<(f64, f64)> {
+    if interval == 0 || samples.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(samples.len());
+    let mut prev = 0u64;
+    for &(t, total) in samples {
+        let delta = total - prev;
+        prev = total;
+        let mops = delta as f64 / (interval as f64 / SECS as f64) / 1e6;
+        out.push((t.as_secs_f64(), mops));
+    }
+    out
+}
+
+/// Renders tuner events as strings for reports.
+pub fn render_tuner_events(trace: &[TunerEvent]) -> Vec<String> {
+    trace
+        .iter()
+        .map(|e| match e {
+            TunerEvent::SearchStarted(t) => format!("{:.3}s search-start", t.as_secs_f64()),
+            TunerEvent::Applied(t, n_cr, k, w) => format!(
+                "{:.3}s applied n_cr={n_cr} cache={k} mr_ways={w}",
+                t.as_secs_f64()
+            ),
+            TunerEvent::SearchEnded(t) => format!("{:.3}s search-end", t.as_secs_f64()),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> RunConfig {
+        RunConfig {
+            keys: 20_000,
+            workers: 4,
+            n_cr: 2,
+            clients: 8,
+            pipeline: 4,
+            warmup: 500 * MICROS,
+            duration: 1_500 * MICROS,
+            machine: MachineConfig::tiny(),
+            hot_capacity: 500,
+            ..RunConfig::default()
+        }
+    }
+
+    #[test]
+    fn utps_tree_end_to_end() {
+        let cfg = RunConfig {
+            index: IndexKind::Tree,
+            ..quick_cfg()
+        };
+        let r = run_utps(&cfg);
+        assert!(r.completed > 500, "only {} ops completed", r.completed);
+        assert!(r.p50_ns >= 1_800, "p50 {} below RTT", r.p50_ns);
+        assert!(r.mops > 0.1, "throughput {}", r.mops);
+        assert_eq!(r.not_found, 0, "keys must all exist");
+    }
+
+    #[test]
+    fn utps_hash_end_to_end() {
+        let cfg = RunConfig {
+            index: IndexKind::Hash,
+            workload: WorkloadSpec::Ycsb {
+                mix: Mix::B,
+                theta: 0.99,
+                value_len: 8,
+                scan_len: 50,
+            },
+            ..quick_cfg()
+        };
+        let r = run_utps(&cfg);
+        assert!(r.completed > 500, "only {} ops completed", r.completed);
+        assert_eq!(r.not_found, 0);
+    }
+
+    #[test]
+    fn hot_cache_serves_skewed_traffic() {
+        let cfg = RunConfig {
+            workload: WorkloadSpec::Ycsb {
+                mix: Mix::C,
+                theta: 0.99,
+                value_len: 8,
+                scan_len: 50,
+            },
+            ..quick_cfg()
+        };
+        let r = run_utps(&cfg);
+        assert!(
+            r.cr_local_frac > 0.10,
+            "CR layer served only {:.1}% locally",
+            r.cr_local_frac * 100.0
+        );
+    }
+
+    #[test]
+    fn scans_work_end_to_end() {
+        let cfg = RunConfig {
+            workload: WorkloadSpec::Ycsb {
+                mix: Mix::E,
+                theta: 0.99,
+                value_len: 8,
+                scan_len: 10,
+            },
+            ..quick_cfg()
+        };
+        let r = run_utps(&cfg);
+        assert!(r.completed > 200, "only {} scans completed", r.completed);
+    }
+}

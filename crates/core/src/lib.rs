@@ -1,0 +1,37 @@
+//! μTPS: a thread-per-stage architecture for in-memory key-value stores.
+//!
+//! This crate implements the paper's primary contribution — the μTPS thread
+//! architecture (§3) — plus the two stores built on it:
+//!
+//! * **μTPS-H** — cuckoo-hash index, point queries;
+//! * **μTPS-T** — ordered (B+-tree) index, point and range queries.
+//!
+//! Structure mirrors the paper:
+//!
+//! | Paper section | Module |
+//! |---|---|
+//! | §3.2.1 Reconfigurable RPC (single-queue receive buffer, SRQ/MP-RQ) | [`rpc`] |
+//! | §3.2.2 Resizable cache (hot set, sorted array, epoch switch) | [`hotcache`] |
+//! | §3.2.3 FSM execution model at the CR layer | [`server`] (`CrState`) |
+//! | §3.3 Memory-resident layer (batched indexing, data copy, CC) | [`server`] (`MrState`), [`store`] |
+//! | §3.4 CR-MR queue (all-to-all SPSC rings, 16-B descriptors) | [`crmr`] |
+//! | §3.5 Auto-tuner (thread reassignment, cache resize, LLC ways) | [`tuner`] |
+//! | §5 drivers (closed-loop clients, measurement) | [`client`], [`experiment`] |
+//!
+//! Everything runs inside the deterministic hardware simulation of
+//! [`utps_sim`]; see DESIGN.md for the hardware substitution table.
+
+pub mod client;
+pub mod crmr;
+pub mod experiment;
+pub mod hotcache;
+pub mod msg;
+pub mod rpc;
+pub mod server;
+pub mod store;
+pub mod tuner;
+
+pub use client::{ClientProc, ClientStats};
+pub use experiment::{RunConfig, RunResult, SystemKind};
+pub use msg::{NetMsg, OpKind, Request, Response};
+pub use store::KvStore;

@@ -1,0 +1,145 @@
+//! Wire messages between clients and the KVS server.
+
+use utps_sim::time::SimTime;
+use utps_workload::Op;
+
+/// Request header bytes on the wire (type, key, size, seq, client).
+pub const REQ_HEADER: usize = 24;
+/// Response header bytes on the wire.
+pub const RESP_HEADER: usize = 16;
+
+/// Operation discriminator carried in the 16-byte CR-MR descriptor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpKind {
+    /// Point read.
+    Get,
+    /// Write (update or insert).
+    Put,
+    /// Range scan.
+    Scan,
+    /// Delete.
+    Delete,
+}
+
+/// A client request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Issuing client endpoint.
+    pub client: u32,
+    /// Client-local sequence number (latency correlation).
+    pub seq: u64,
+    /// The operation.
+    pub op: Op,
+    /// Payload for puts.
+    pub value: Option<Box<[u8]>>,
+    /// Client-side send timestamp.
+    pub sent_at: SimTime,
+}
+
+impl Request {
+    /// Bytes this request occupies on the wire.
+    pub fn wire_len(&self) -> usize {
+        REQ_HEADER + self.value.as_ref().map(|v| v.len()).unwrap_or(0)
+    }
+
+    /// The operation kind for the CR-MR descriptor.
+    pub fn kind(&self) -> OpKind {
+        match self.op {
+            Op::Get { .. } => OpKind::Get,
+            Op::Put { .. } => OpKind::Put,
+            Op::Scan { .. } => OpKind::Scan,
+            Op::Delete { .. } => OpKind::Delete,
+        }
+    }
+}
+
+/// A server response.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// Destination client endpoint.
+    pub client: u32,
+    /// Echoed request sequence number.
+    pub seq: u64,
+    /// Whether the key was found / the write applied.
+    pub ok: bool,
+    /// Returned value (gets) or values (scans, concatenated logically).
+    pub value: Option<Box<[u8]>>,
+    /// Number of items returned (scans).
+    pub scan_count: u32,
+    /// Extra payload bytes on the wire not carried in `value`
+    /// (scan results are charged but not materialized in the message).
+    pub payload_extra: usize,
+    /// Server-internal: the response-buffer address the RNIC DMA-reads the
+    /// payload from (the buffer of whichever worker produced the response —
+    /// §3.3: the MR layer's own buffer for forwarded requests). Not on the
+    /// wire.
+    pub resp_addr: usize,
+    /// Original client send timestamp (echoed for latency measurement).
+    pub sent_at: SimTime,
+}
+
+impl Response {
+    /// Bytes this response occupies on the wire.
+    pub fn wire_len(&self) -> usize {
+        RESP_HEADER + self.value.as_ref().map(|v| v.len()).unwrap_or(0) + self.payload_extra
+    }
+}
+
+/// Any message on the fabric.
+#[derive(Clone, Debug)]
+pub enum NetMsg {
+    /// Client → server.
+    Req(Request),
+    /// Server → client.
+    Resp(Response),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_lengths() {
+        let get = Request {
+            client: 0,
+            seq: 1,
+            op: Op::Get { key: 5 },
+            value: None,
+            sent_at: SimTime::ZERO,
+        };
+        assert_eq!(get.wire_len(), REQ_HEADER);
+        assert_eq!(get.kind(), OpKind::Get);
+        let put = Request {
+            client: 0,
+            seq: 2,
+            op: Op::Put { key: 5, value_len: 100 },
+            value: Some(vec![7u8; 100].into_boxed_slice()),
+            sent_at: SimTime::ZERO,
+        };
+        assert_eq!(put.wire_len(), REQ_HEADER + 100);
+        assert_eq!(put.kind(), OpKind::Put);
+        let resp = Response {
+            client: 0,
+            seq: 2,
+            ok: true,
+            value: Some(vec![1u8; 64].into_boxed_slice()),
+            scan_count: 0,
+            payload_extra: 0,
+            resp_addr: 0,
+            sent_at: SimTime::ZERO,
+        };
+        assert_eq!(resp.wire_len(), RESP_HEADER + 64);
+    }
+
+    #[test]
+    fn scan_kind() {
+        let scan = Request {
+            client: 1,
+            seq: 3,
+            op: Op::Scan { key: 10, count: 50 },
+            value: None,
+            sent_at: SimTime::ZERO,
+        };
+        assert_eq!(scan.kind(), OpKind::Scan);
+    }
+}

@@ -1,0 +1,910 @@
+//! The μTPS server: world state and the CR/MR worker processes.
+//!
+//! A fixed pool of worker threads is partitioned into the cache-resident
+//! layer (workers `0..n_cr`) and the memory-resident layer (the rest). The
+//! partition point is a single global variable; the auto-tuner moves it with
+//! the non-blocking reassignment protocol of §3.5 (switch at a pre-announced
+//! receive-slot sequence number, drain CR-MR lanes before switching roles).
+//!
+//! **CR worker** (§3.2.3 FSM): polls the single-queue receive buffer for the
+//! slots it owns (`seq mod n == i`), parses, serves hot keys from the
+//! resizable cache (skipping index traversal entirely), forwards misses to
+//! the MR layer in batched 16-byte descriptors, and sends responses — both
+//! for its local hits and, when lane tail counters advance, for MR
+//! completions.
+//!
+//! **MR worker** (§3.3): pops descriptor batches from its lanes, runs one
+//! [`KvOp`] state machine per request, and interleaves them round-robin so
+//! every prefetch issued before a pointer dereference is overlapped with
+//! other requests' compute — the stackless-coroutine batching of the paper.
+//! Data moves directly between network buffers and the store; only
+//! descriptors cross the CR-MR queue.
+
+use std::collections::VecDeque;
+
+use utps_index::Step;
+use utps_sim::hashutil::FxHashMap;
+use utps_sim::nic::Fabric;
+use utps_sim::time::SimTime;
+use utps_sim::{Ctx, Process, StatClass};
+use utps_workload::Op;
+
+use crate::client::{DriverState, KvWorld};
+use crate::crmr::{CrMrQueue, Desc};
+use crate::hotcache::HotCache;
+use crate::msg::{NetMsg, OpKind, Request, Response};
+use crate::rpc::{send_response, RecvRing, RespBuffers};
+use crate::store::{KvOp, KvOpOutput, KvStore, OpBuffers};
+
+/// Runtime-adjustable server configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Total worker threads (CR + MR).
+    pub workers: usize,
+    /// Workers currently assigned to the cache-resident layer.
+    pub n_cr: usize,
+    /// CR→MR descriptor batch size (§5.5.1 sweeps 1..20).
+    pub batch: usize,
+    /// Sample every Nth request into the hot-set tracker.
+    pub sample_every: u32,
+    /// Whether the hot cache is active.
+    pub cache_enabled: bool,
+}
+
+impl ServerConfig {
+    /// Memory-resident worker count.
+    pub fn n_mr(&self) -> usize {
+        self.workers - self.n_cr
+    }
+}
+
+/// An in-flight thread reassignment (§3.5).
+#[derive(Clone, Debug)]
+pub struct Reconfig {
+    /// The new CR worker count.
+    pub new_n_cr: usize,
+    /// Slots with `seq >= switch_seq` use the new assignment.
+    pub switch_seq: u64,
+    /// Which workers have adopted the new configuration.
+    pub adopted: Vec<bool>,
+}
+
+/// Server-side counters.
+#[derive(Clone, Debug, Default)]
+pub struct ServerStats {
+    /// Responses sent.
+    pub responses: u64,
+    /// Requests served entirely at the CR layer.
+    pub cr_local: u64,
+    /// Requests forwarded to the MR layer.
+    pub forwarded: u64,
+    /// Reconfiguration events: (time, n_cr after).
+    pub reconfig_events: Vec<(SimTime, usize)>,
+}
+
+/// The complete μTPS server world.
+pub struct UtpsWorld {
+    /// Client↔server fabric.
+    pub fabric: Fabric<NetMsg>,
+    /// Single-queue receive buffer (§3.2.1).
+    pub ring: RecvRing,
+    /// Per-worker response buffers.
+    pub resp: RespBuffers,
+    /// Index + items.
+    pub store: KvStore,
+    /// All-to-all CR-MR queue (§3.4).
+    pub crmr: CrMrQueue,
+    /// Resizable hot cache (§3.2.2).
+    pub hot: HotCache,
+    /// Runtime configuration.
+    pub cfg: ServerConfig,
+    /// In-flight thread reassignment, if any.
+    pub reconfig: Option<Reconfig>,
+    /// Per-worker sampled keys for the hot-set tracker.
+    pub samples: Vec<VecDeque<u64>>,
+    /// Scan skip-lists: seq → keys already served by the CR layer (§4).
+    pub scan_skips: FxHashMap<u64, Vec<u64>>,
+    /// Server counters.
+    pub stats: ServerStats,
+    /// Client/measurement state.
+    pub driver: DriverState,
+    /// LLC ways currently reused by the MR layer (0 = all ways).
+    pub mr_ways: usize,
+    /// Auto-tuner event trace (Figure 14 annotations).
+    pub tuner_trace: Vec<crate::tuner::TunerEvent>,
+}
+
+impl KvWorld for UtpsWorld {
+    fn fabric_mut(&mut self) -> &mut Fabric<NetMsg> {
+        &mut self.fabric
+    }
+
+    fn driver_mut(&mut self) -> &mut DriverState {
+        &mut self.driver
+    }
+}
+
+impl UtpsWorld {
+    /// The CR worker owning receive slot `seq` under the current (or
+    /// transitional) assignment.
+    pub fn owner_of(&self, seq: u64) -> usize {
+        match &self.reconfig {
+            Some(r) if seq >= r.switch_seq => (seq % r.new_n_cr as u64) as usize,
+            _ => (seq % self.cfg.n_cr as u64) as usize,
+        }
+    }
+
+    /// First MR worker id descriptors may target right now (during a
+    /// reassignment both the old and new CR ranges are excluded so movers
+    /// can drain).
+    pub fn mr_lo(&self) -> usize {
+        match &self.reconfig {
+            Some(r) => self.cfg.n_cr.max(r.new_n_cr),
+            None => self.cfg.n_cr,
+        }
+    }
+
+    /// Marks `worker` as having adopted the pending reconfiguration;
+    /// finalizes it when everyone has.
+    pub fn adopt_reconfig(&mut self, worker: usize, now: SimTime) {
+        let done = {
+            let r = self.reconfig.as_mut().expect("no reconfig in flight");
+            r.adopted[worker] = true;
+            r.adopted.iter().all(|&a| a)
+        };
+        if done {
+            let r = self.reconfig.take().unwrap();
+            self.cfg.n_cr = r.new_n_cr;
+            self.stats.reconfig_events.push((now, r.new_n_cr));
+        }
+    }
+}
+
+/// Roles a worker can be in.
+enum Role {
+    Cr(CrState),
+    Mr(MrState),
+}
+
+/// Cache-resident worker state.
+struct CrState {
+    /// Local copy of `n_cr` (the modulo divisor).
+    n_local: usize,
+    /// Next owned slot sequence number.
+    cursor: u64,
+    /// Per-target-MR descriptor accumulation (indexed by worker id).
+    out: Vec<Vec<Desc>>,
+    /// Per-lane FIFO of forwarded seqs awaiting completion.
+    pending: Vec<VecDeque<u64>>,
+    /// Last observed completion counter per lane.
+    seen: Vec<u64>,
+    /// Round-robin MR target.
+    mr_rr: usize,
+    /// Round-robin completion-poll lane.
+    comp_rr: usize,
+    /// In-progress local (hot-hit) operation.
+    local: Option<(u64, KvOp)>,
+    /// Request counter for sampling.
+    sample_ctr: u32,
+    /// True when this worker is draining to move to the MR layer.
+    draining: bool,
+}
+
+impl CrState {
+    fn new(workers: usize, n_local: usize, id: usize, crmr: &CrMrQueue) -> Self {
+        CrState {
+            n_local,
+            cursor: id as u64,
+            out: (0..workers).map(|_| Vec::new()).collect(),
+            pending: (0..workers).map(|_| VecDeque::new()).collect(),
+            // Resync with the lanes' live counters (non-zero when this
+            // worker held the CR role before).
+            seen: (0..workers).map(|c| crmr.completed_peek(id, c)).collect(),
+            mr_rr: 0,
+            comp_rr: 0,
+            local: None,
+            sample_ctr: 0,
+            draining: false,
+        }
+    }
+
+    /// Fresh-start constructor for initial spawn (all counters zero).
+    fn new_fresh(workers: usize, n_local: usize, id: usize) -> Self {
+        CrState {
+            n_local,
+            cursor: id as u64,
+            out: (0..workers).map(|_| Vec::new()).collect(),
+            pending: (0..workers).map(|_| VecDeque::new()).collect(),
+            seen: vec![0; workers],
+            mr_rr: 0,
+            comp_rr: 0,
+            local: None,
+            sample_ctr: 0,
+            draining: false,
+        }
+    }
+
+    fn outstanding(&self) -> usize {
+        self.out.iter().map(Vec::len).sum::<usize>()
+            + self.pending.iter().map(VecDeque::len).sum::<usize>()
+    }
+}
+
+/// One request being processed at the MR layer.
+struct ActiveOp {
+    seq: u64,
+    op: KvOp,
+    done: bool,
+}
+
+/// Memory-resident worker state.
+struct MrState {
+    ops: Vec<ActiveOp>,
+    /// Descriptors popped per producer in the current super-batch.
+    lane_pop: Vec<u32>,
+    prod_rr: usize,
+    scratch: Vec<Desc>,
+}
+
+impl MrState {
+    fn new(workers: usize) -> Self {
+        MrState {
+            ops: Vec::new(),
+            lane_pop: vec![0; workers],
+            prod_rr: 0,
+            scratch: Vec::new(),
+        }
+    }
+}
+
+/// A μTPS worker thread (either layer; role changes at runtime).
+pub struct UtpsWorker {
+    id: usize,
+    role: Role,
+}
+
+impl UtpsWorker {
+    /// Creates worker `id` with its initial role taken from `cfg`.
+    pub fn new(id: usize, cfg: &ServerConfig) -> Self {
+        let role = if id < cfg.n_cr {
+            Role::Cr(CrState::new_fresh(cfg.workers, cfg.n_cr, id))
+        } else {
+            Role::Mr(MrState::new(cfg.workers))
+        };
+        UtpsWorker { id, role }
+    }
+
+    /// Builds a response from a finished [`KvOp`] and the original request.
+    fn build_response(req: &Request, out: KvOpOutput, resp_addr: usize) -> Response {
+        let is_get = matches!(req.op, Op::Get { .. });
+        Response {
+            client: req.client,
+            seq: req.seq,
+            ok: out.ok,
+            value: if is_get { out.value } else { None },
+            scan_count: out.scan_count,
+            payload_extra: if is_get { 0 } else { out.payload },
+            resp_addr,
+            sent_at: req.sent_at,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // CR layer
+    // ------------------------------------------------------------------
+
+    fn cr_step(&mut self, ctx: &mut Ctx<'_>, world: &mut UtpsWorld) {
+        let id = self.id;
+        let st = match &mut self.role {
+            Role::Cr(st) => st,
+            Role::Mr(_) => unreachable!(),
+        };
+
+        // 0. Finish a blocked/ready local hot-path operation first.
+        if let Some((seq, mut op)) = st.local.take() {
+            loop {
+                match op.poll(ctx, &mut world.store) {
+                    Step::Done(out) => {
+                        Self::cr_finish_local(ctx, world, id, seq, out);
+                        break;
+                    }
+                    Step::Ready => continue,
+                    Step::Blocked => {
+                        st.local = Some((seq, op));
+                        return;
+                    }
+                }
+            }
+            return;
+        }
+
+        // 1. Reconfiguration handling.
+        let rc = world
+            .reconfig
+            .as_ref()
+            .map(|r| (r.new_n_cr, r.switch_seq, r.adopted[id]));
+        if let Some((new_n_cr, switch_seq, adopted)) = rc {
+            if !adopted && st.cursor >= switch_seq {
+                if id < new_n_cr {
+                    // Stay CR: adopt the new modulo and realign.
+                    st.n_local = new_n_cr;
+                    st.cursor = align_cursor(switch_seq, id, new_n_cr);
+                    world.adopt_reconfig(id, ctx.now());
+                } else {
+                    // Leave for the MR layer once everything drains.
+                    st.draining = true;
+                    self.cr_try_depart(ctx, world);
+                    return;
+                }
+            }
+            // Until the switch point, keep processing with the old mapping.
+            // Accumulated-but-unpushed descriptors whose target is leaving
+            // the MR layer must be redirected, or their requests leak.
+            // (The shared-queue counterfactual is target-free: skip.)
+            let mr_lo = if world.crmr.is_shared() {
+                0
+            } else {
+                self.id_mr_lo(world)
+            };
+            let st = match &mut self.role {
+                Role::Cr(st) => st,
+                Role::Mr(_) => unreachable!(),
+            };
+            let mut stale: Vec<Desc> = Vec::new();
+            for t in 0..mr_lo.min(st.out.len()) {
+                stale.append(&mut st.out[t]);
+            }
+            let n_mr = world.cfg.workers - mr_lo;
+            for d in stale {
+                let target = mr_lo + st.mr_rr % n_mr;
+                st.out[target].push(d);
+                if st.out[target].len() >= world.cfg.batch {
+                    Self::push_lane(st, ctx, &mut world.crmr, id, target);
+                    st.mr_rr = (st.mr_rr + 1) % n_mr;
+                }
+            }
+        } else if st.draining {
+            st.draining = false;
+        }
+
+        // 2. Pump the NIC into the receive ring (DMA is free for the CPU;
+        //    this models the RNIC progressing asynchronously).
+        {
+            let now = ctx.now();
+            let m = ctx.machine();
+            world.ring.pump(&mut m.cache, &mut world.fabric, now, 8);
+        }
+
+        // 3. Poll one lane's completion counter; send finished responses.
+        self.cr_poll_completions(ctx, world, 8);
+        let st = match &mut self.role {
+            Role::Cr(st) => st,
+            Role::Mr(_) => unreachable!(),
+        };
+
+        // 4. Claim and process the next owned slot.
+        let backlog = st.outstanding();
+        let may_claim = backlog < world.cfg.batch * 8 && !st.draining;
+        let claimed = if may_claim && world.ring.is_posted(st.cursor) {
+            let seq = st.cursor;
+            st.cursor += st.n_local as u64;
+            self.cr_process_request(ctx, world, seq);
+            true
+        } else {
+            false
+        };
+
+        // 5. Flush a partial batch when idle so misses never starve
+        //    (only toward workers that are legal MR targets right now).
+        if !claimed {
+            if world.crmr.is_shared() {
+                let st = match &mut self.role {
+                    Role::Cr(st) => st,
+                    Role::Mr(_) => unreachable!(),
+                };
+                while let Some(d) = st.out[0].pop() {
+                    if !world.crmr.push_shared(ctx, id, d) {
+                        st.out[0].push(d);
+                        break;
+                    }
+                }
+                return;
+            }
+            let mr_lo = world.mr_lo();
+            let st = match &mut self.role {
+                Role::Cr(st) => st,
+                Role::Mr(_) => unreachable!(),
+            };
+            for t in mr_lo..world.cfg.workers {
+                if !st.out[t].is_empty() {
+                    if Self::push_lane(st, ctx, &mut world.crmr, id, t) > 0 {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Current first legal MR target (delegates to the world).
+    fn id_mr_lo(&self, world: &UtpsWorld) -> usize {
+        world.mr_lo()
+    }
+
+    /// Pushes the accumulated batch for lane `target`, recording accepted
+    /// seqs in the per-lane completion FIFO. Returns how many were accepted.
+    fn push_lane(
+        st: &mut CrState,
+        ctx: &mut Ctx<'_>,
+        crmr: &mut CrMrQueue,
+        id: usize,
+        target: usize,
+    ) -> usize {
+        let mut batch = core::mem::take(&mut st.out[target]);
+        let accepted_seqs: Vec<u64> = batch.iter().map(|d| d.seq).collect();
+        let pushed = crmr.push_batch(ctx, id, target, &mut batch);
+        for &seq in &accepted_seqs[..pushed] {
+            st.pending[target].push_back(seq);
+        }
+        st.out[target] = batch;
+        pushed
+    }
+
+    /// Processes one claimed receive slot.
+    fn cr_process_request(&mut self, ctx: &mut Ctx<'_>, world: &mut UtpsWorld, seq: u64) {
+        let id = self.id;
+        let st = match &mut self.role {
+            Role::Cr(st) => st,
+            Role::Mr(_) => unreachable!(),
+        };
+        let req = world.ring.claim(ctx, seq);
+        ctx.stage_transitions(1);
+        let op = req.op.clone();
+        let key = op.key();
+        let value = req.value.clone();
+
+        // Sampling for the hot-set tracker.
+        st.sample_ctr += 1;
+        if world.cfg.cache_enabled && st.sample_ctr >= world.cfg.sample_every {
+            st.sample_ctr = 0;
+            let q = &mut world.samples[id];
+            if q.len() < 4096 {
+                q.push_back(key);
+                // One store into the sampling buffer.
+                ctx.compute_ns(2);
+            }
+        }
+
+        let bufs = OpBuffers {
+            recv_addr: world.ring.slot_addr(seq),
+            resp_addr: world.resp.addr_for(id, seq),
+        };
+
+        // Hot-cache probe (§3.2.3 hit path / miss path).
+        let cached = if world.cfg.cache_enabled {
+            world.hot.probe(ctx, key)
+        } else {
+            None
+        };
+
+        match (&op, cached) {
+            (Op::Get { .. }, Some(item)) => {
+                world.stats.cr_local += 1;
+                self.cr_drive_local(ctx, world, seq, KvOp::get_cached(key, item, bufs));
+            }
+            (Op::Put { .. }, Some(item)) => {
+                world.stats.cr_local += 1;
+                let v = value.expect("put without payload");
+                self.cr_drive_local(ctx, world, seq, KvOp::put_cached(key, item, v, bufs));
+            }
+            (Op::Scan { count, .. }, _) => {
+                // Hybrid scan (§4): serve the cached portion here, forward
+                // the rest with a skip list.
+                let count = *count;
+                let mut skip = Vec::new();
+                if world.cfg.cache_enabled {
+                    let cached_range = world.hot.probe_range(ctx, key, count);
+                    let mut off = 0usize;
+                    for (k, item) in cached_range {
+                        let len = world.store.items.value_len(item);
+                        ctx.read(world.store.items.value_addr(item), len);
+                        ctx.write(bufs.resp_addr + off, len);
+                        off += len;
+                        skip.push(k);
+                    }
+                }
+                skip.sort_unstable();
+                if !skip.is_empty() {
+                    world.scan_skips.insert(seq, skip);
+                }
+                world.stats.forwarded += 1;
+                self.cr_forward(ctx, world, seq, key, OpKind::Scan, count as u32);
+            }
+            (Op::Get { .. }, None) => {
+                world.stats.forwarded += 1;
+                self.cr_forward(ctx, world, seq, key, OpKind::Get, 0);
+            }
+            (Op::Put { value_len, .. }, None) => {
+                let size = *value_len as u32;
+                world.stats.forwarded += 1;
+                self.cr_forward(ctx, world, seq, key, OpKind::Put, size);
+            }
+            (Op::Delete { .. }, cached) => {
+                // Tombstone any cached entry first, then let the MR layer
+                // remove the key from the full index (§3.2.2: the cache is
+                // rebuilt at the next refresh).
+                if cached.is_some() {
+                    world.hot.invalidate(ctx, key);
+                }
+                world.stats.forwarded += 1;
+                self.cr_forward(ctx, world, seq, key, OpKind::Delete, 0);
+            }
+        }
+    }
+
+    /// Drives a local hot-path op to completion or parks it.
+    fn cr_drive_local(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        world: &mut UtpsWorld,
+        seq: u64,
+        mut op: KvOp,
+    ) {
+        loop {
+            match op.poll(ctx, &mut world.store) {
+                Step::Done(out) => {
+                    Self::cr_finish_local(ctx, world, self.id, seq, out);
+                    return;
+                }
+                Step::Ready => continue,
+                Step::Blocked => {
+                    let st = match &mut self.role {
+                        Role::Cr(st) => st,
+                        Role::Mr(_) => unreachable!(),
+                    };
+                    st.local = Some((seq, op));
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Sends the response for a locally served request and frees the slot.
+    fn cr_finish_local(
+        ctx: &mut Ctx<'_>,
+        world: &mut UtpsWorld,
+        id: usize,
+        seq: u64,
+        out: KvOpOutput,
+    ) {
+        let resp_addr = world.resp.addr_for(id, seq);
+        let resp = Self::build_response(world.ring.request(seq), out, resp_addr);
+        world.ring.abort(seq);
+        world.stats.responses += 1;
+        send_response(ctx, &mut world.fabric, resp_addr, resp);
+    }
+
+    /// Queues a descriptor toward the MR layer, pushing full batches.
+    fn cr_forward(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        world: &mut UtpsWorld,
+        seq: u64,
+        key: u64,
+        kind: OpKind,
+        size: u32,
+    ) {
+        let id = self.id;
+        let mr_lo = world.mr_lo();
+        let n_mr = world.cfg.workers - mr_lo;
+        debug_assert!(n_mr > 0, "no MR workers to forward to");
+        let st = match &mut self.role {
+            Role::Cr(st) => st,
+            Role::Mr(_) => unreachable!(),
+        };
+        let desc = Desc {
+            key,
+            seq,
+            kind,
+            size,
+        };
+        if world.crmr.is_shared() {
+            // Counterfactual transport: one shared queue, one CAS per
+            // descriptor; overflow retries from the stash on later steps.
+            if !world.crmr.push_shared(ctx, id, desc) {
+                st.out[0].push(desc);
+            }
+            return;
+        }
+        // Fill one target's multi-request slot to the batch size before
+        // rotating to the next MR worker (§3.4: a slot is pushed only when
+        // enough requests have accumulated).
+        let target = mr_lo + st.mr_rr % n_mr;
+        st.out[target].push(desc);
+        if st.out[target].len() >= world.cfg.batch {
+            Self::push_lane(st, ctx, &mut world.crmr, id, target);
+            st.mr_rr = (st.mr_rr + 1) % n_mr;
+        }
+    }
+
+    /// Polls completion counters and sends up to `limit` finished responses.
+    fn cr_poll_completions(&mut self, ctx: &mut Ctx<'_>, world: &mut UtpsWorld, limit: usize) {
+        let id = self.id;
+        if world.crmr.is_shared() {
+            for _ in 0..limit {
+                let Some(seq) = world.crmr.pop_completion_shared(ctx, id) else {
+                    break;
+                };
+                let resp = world.ring.release(seq);
+                let resp_addr = resp.resp_addr;
+                world.stats.responses += 1;
+                send_response(ctx, &mut world.fabric, resp_addr, resp);
+            }
+            return;
+        }
+        let st = match &mut self.role {
+            Role::Cr(st) => st,
+            Role::Mr(_) => unreachable!(),
+        };
+        let workers = world.cfg.workers;
+        // Find the next lane with forwarded-but-unacknowledged requests.
+        let mut lane = None;
+        for off in 0..workers {
+            let t = (st.comp_rr + off) % workers;
+            if !st.pending[t].is_empty() {
+                lane = Some(t);
+                st.comp_rr = (t + 1) % workers;
+                break;
+            }
+        }
+        let Some(t) = lane else { return };
+        let completed = world.crmr.completed(ctx, id, t);
+        let mut sent = 0;
+        while st.seen[t] < completed && sent < limit as u64 {
+            st.seen[t] += 1;
+            sent += 1;
+            let seq = st.pending[t]
+                .pop_front()
+                .expect("completion without pending seq");
+            let resp = world.ring.release(seq);
+            let resp_addr = resp.resp_addr;
+            world.stats.responses += 1;
+            send_response(ctx, &mut world.fabric, resp_addr, resp);
+        }
+    }
+
+    /// Attempts to finish draining and switch to the MR layer.
+    fn cr_try_depart(&mut self, ctx: &mut Ctx<'_>, world: &mut UtpsWorld) {
+        let id = self.id;
+        // Flush any remaining partial batches first (redirecting any whose
+        // target is also leaving the MR layer).
+        {
+            let mr_lo = world.mr_lo();
+            let n_mr = world.cfg.workers - mr_lo;
+            let st = match &mut self.role {
+                Role::Cr(st) => st,
+                Role::Mr(_) => unreachable!(),
+            };
+            let mut stale: Vec<Desc> = Vec::new();
+            for t in 0..mr_lo.min(st.out.len()) {
+                stale.append(&mut st.out[t]);
+            }
+            for d in stale {
+                let target = mr_lo + st.mr_rr % n_mr;
+                st.mr_rr = (st.mr_rr + 1) % n_mr;
+                st.out[target].push(d);
+            }
+            for t in mr_lo..world.cfg.workers {
+                if !st.out[t].is_empty() {
+                    Self::push_lane(st, ctx, &mut world.crmr, id, t);
+                }
+            }
+        }
+        // Keep sending completions for already-forwarded requests.
+        self.cr_poll_completions(ctx, world, 8);
+        let st = match &mut self.role {
+            Role::Cr(st) => st,
+            Role::Mr(_) => unreachable!(),
+        };
+        if st.local.is_none() && st.outstanding() == 0 && world.crmr.producer_idle(id) {
+            // All clear: become an MR worker.
+            self.role = Role::Mr(MrState::new(world.cfg.workers));
+            ctx.set_class(StatClass::Mr);
+            world.adopt_reconfig(id, ctx.now());
+        } else {
+            ctx.spin();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // MR layer
+    // ------------------------------------------------------------------
+
+    fn mr_step(&mut self, ctx: &mut Ctx<'_>, world: &mut UtpsWorld) {
+        let id = self.id;
+
+        // Reconfiguration: become a CR worker when told to and fully idle.
+        let rc = world
+            .reconfig
+            .as_ref()
+            .map(|r| (r.new_n_cr, r.switch_seq, r.adopted[id]));
+        if let Some((new_n_cr, switch_seq, adopted)) = rc {
+            if !adopted && id < new_n_cr {
+                let st = match &mut self.role {
+                    Role::Mr(st) => st,
+                    Role::Cr(_) => unreachable!(),
+                };
+                if st.ops.is_empty() && world.crmr.consumer_idle(id) {
+                    let mut cr = CrState::new(world.cfg.workers, new_n_cr, id, &world.crmr);
+                    cr.cursor = align_cursor(switch_seq, id, new_n_cr);
+                    self.role = Role::Cr(cr);
+                    ctx.set_class(StatClass::Cr);
+                    world.adopt_reconfig(id, ctx.now());
+                    return;
+                }
+                // Fall through: keep processing to drain.
+            } else if !adopted {
+                // MR worker staying MR: adopt immediately.
+                world.adopt_reconfig(id, ctx.now());
+            }
+        }
+
+        let st = match &mut self.role {
+            Role::Mr(st) => st,
+            Role::Cr(_) => unreachable!(),
+        };
+
+        if st.ops.is_empty() {
+            if world.crmr.is_shared() {
+                st.scratch.clear();
+                let got = world
+                    .crmr
+                    .pop_shared(ctx, &mut st.scratch, world.cfg.batch);
+                for i in 0..got {
+                    let d = st.scratch[i];
+                    let op = build_mr_op(world, id, d);
+                    st.ops.push(ActiveOp {
+                        seq: d.seq,
+                        op,
+                        done: false,
+                    });
+                }
+                return;
+            }
+            // Fill a super-batch by scanning all producers round-robin.
+            let workers = world.cfg.workers;
+            let batch = world.cfg.batch;
+            let mut scanned = 0;
+            while st.ops.len() < batch && scanned < workers {
+                let p = (st.prod_rr + scanned) % workers;
+                scanned += 1;
+                st.scratch.clear();
+                let want = batch - st.ops.len();
+                let got = world.crmr.pop_batch(ctx, p, id, &mut st.scratch, want);
+                if got > 0 {
+                    st.lane_pop[p] += got as u32;
+                    ctx.stage_transitions(1);
+                    for i in 0..got {
+                        let d = st.scratch[i];
+                        let op = build_mr_op(world, id, d);
+                        st.ops.push(ActiveOp {
+                            seq: d.seq,
+                            op,
+                            done: false,
+                        });
+                    }
+                }
+            }
+            st.prod_rr = (st.prod_rr + scanned) % workers;
+            return;
+        }
+
+        // Interleave the batch: poll each live op once (coroutine switch).
+        let mut all_done = true;
+        for i in 0..st.ops.len() {
+            if st.ops[i].done {
+                continue;
+            }
+            ctx.fsm_switch();
+            match st.ops[i].op.poll(ctx, &mut world.store) {
+                Step::Done(out) => {
+                    st.ops[i].done = true;
+                    let seq = st.ops[i].seq;
+                    let resp_addr = world.resp.addr_for(id, seq);
+                    let resp = Self::build_response(world.ring.request(seq), out, resp_addr);
+                    world.ring.complete(seq, resp);
+                    if world.crmr.is_shared() {
+                        let owner = world.owner_of(seq);
+                        world.crmr.complete_shared(ctx, owner, seq);
+                    }
+                }
+                Step::Ready => {
+                    all_done = false;
+                }
+                Step::Blocked => {
+                    all_done = false;
+                }
+            }
+        }
+        if all_done && world.crmr.is_shared() {
+            st.ops.clear();
+        } else if all_done {
+            // Whole super-batch finished: advance lane tail counters
+            // (the piggybacked completion signal).
+            for p in 0..world.cfg.workers {
+                if st.lane_pop[p] > 0 {
+                    let n = st.lane_pop[p] as u64;
+                    st.lane_pop[p] = 0;
+                    world.crmr.complete(ctx, p, id, n);
+                }
+            }
+            st.ops.clear();
+        }
+    }
+}
+
+/// First sequence ≥ `from` owned by `id` under divisor `n`.
+fn align_cursor(from: u64, id: usize, n: usize) -> u64 {
+    let n = n as u64;
+    let id = id as u64;
+    let base = from / n * n + id;
+    if base >= from {
+        base
+    } else {
+        base + n
+    }
+}
+
+/// Builds the MR-layer [`KvOp`] for a descriptor. The MR worker copies
+/// response payloads into *its own* response buffer (§3.3) — the RNIC reads
+/// it directly, so the CR layer never touches those lines.
+fn build_mr_op(world: &mut UtpsWorld, consumer: usize, d: Desc) -> KvOp {
+    let req = world.ring.request(d.seq);
+    let bufs = OpBuffers {
+        recv_addr: world.ring.slot_addr(d.seq),
+        resp_addr: world.resp.addr_for(consumer, d.seq),
+    };
+    match d.kind {
+        OpKind::Get => KvOp::get(&world.store, d.key, bufs),
+        OpKind::Put => {
+            let value = req.value.clone().expect("put without payload");
+            KvOp::put(&world.store, d.key, value, bufs)
+        }
+        OpKind::Scan => {
+            let skip = world.scan_skips.remove(&d.seq).unwrap_or_default();
+            KvOp::scan(&world.store, d.key, d.size as usize, skip, bufs)
+        }
+        OpKind::Delete => KvOp::delete(&world.store, d.key, bufs),
+    }
+}
+
+impl Process<UtpsWorld> for UtpsWorker {
+    fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut UtpsWorld) {
+        match &self.role {
+            Role::Cr(_) => self.cr_step(ctx, world),
+            Role::Mr(_) => self.mr_step(ctx, world),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "utps-worker"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn align_cursor_properties() {
+        for n in 1..8usize {
+            for id in 0..n {
+                for from in 0..40u64 {
+                    let c = align_cursor(from, id, n);
+                    assert!(c >= from);
+                    assert_eq!(c % n as u64, id as u64);
+                    assert!(c < from + n as u64);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,520 @@
+//! The KV store (index + item storage) and the full-request operation FSM.
+//!
+//! [`KvOp`] is the complete server-side life of one KV operation *after* RPC
+//! parsing: index traversal, item access, and the data copy between network
+//! buffers and KV storage (§3.3 — data items never flow through the CR-MR
+//! queue; workers copy directly between the network buffer and the store).
+//! The memory-resident layer interleaves batches of `KvOp`s; the
+//! run-to-completion baselines drive the very same FSM inline.
+
+use utps_index::{
+    Index, IndexGet, IndexInsert, IndexInsertError, IndexKind, IndexRemove, IndexScan, ItemId,
+    ItemStore, Step,
+};
+use utps_sim::Ctx;
+
+use crate::msg::OpKind;
+
+/// The store: an index mapping keys to items plus the item payloads.
+pub struct KvStore {
+    /// Key → item index (hash or tree).
+    pub index: Index,
+    /// Item payload storage with per-item concurrency control.
+    pub items: ItemStore,
+}
+
+impl KvStore {
+    /// Creates an empty store of the given index kind, sized for `capacity`
+    /// keys.
+    pub fn new(kind: IndexKind, capacity: usize) -> Self {
+        KvStore {
+            index: Index::new(kind, capacity),
+            items: ItemStore::new(),
+        }
+    }
+
+    /// Bulk-populates keys `0..n` with `value_len`-byte values
+    /// (the paper pre-populates 10 M items before every experiment).
+    pub fn populate(kind: IndexKind, n: u64, value_len: usize) -> Self {
+        let mut items = ItemStore::new();
+        let filler = vec![0xabu8; value_len];
+        let pairs: Vec<(u64, ItemId)> = (0..n).map(|k| (k, items.alloc(&filler))).collect();
+        KvStore {
+            index: Index::from_pairs(kind, pairs),
+            items,
+        }
+    }
+
+    /// Uncharged read of a key's current value (verification).
+    pub fn get_native(&self, key: u64) -> Option<&[u8]> {
+        self.index.get_native(key).map(|id| self.items.value(id))
+    }
+
+    /// Number of stored keys.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+}
+
+/// Result of a completed [`KvOp`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KvOpOutput {
+    /// Whether the key was found / the write applied.
+    pub ok: bool,
+    /// Value read (gets only).
+    pub value: Option<Box<[u8]>>,
+    /// Items returned (scans only).
+    pub scan_count: u32,
+    /// Response payload bytes (value bytes for get, scan bytes for scan).
+    pub payload: usize,
+}
+
+impl KvOpOutput {
+    fn miss() -> Self {
+        KvOpOutput {
+            ok: false,
+            value: None,
+            scan_count: 0,
+            payload: 0,
+        }
+    }
+}
+
+/// Buffer addresses a [`KvOp`] copies between.
+#[derive(Clone, Copy, Debug)]
+pub struct OpBuffers {
+    /// Receive-buffer slot holding the request (source of put payloads).
+    pub recv_addr: usize,
+    /// Response-buffer region for this request (destination of get/scan
+    /// payloads).
+    pub resp_addr: usize,
+}
+
+enum OpState {
+    GetIndex(IndexGet),
+    GetItem(ItemId),
+    PutIndex(IndexGet),
+    PutItem(ItemId),
+    PutAlloc,
+    PutInsert(IndexInsert, ItemId),
+    DelIndex(IndexRemove),
+    Scan(IndexScan),
+    ScanCopy {
+        pairs: Vec<(u64, ItemId)>,
+        next: usize,
+        copied_payload: usize,
+    },
+}
+
+/// A resumable, complete KV operation against a [`KvStore`].
+pub struct KvOp {
+    kind: OpKind,
+    key: u64,
+    /// Put payload (borrowed from the receive slot's parsed request).
+    value: Option<Box<[u8]>>,
+    /// Keys the CR layer already served for this scan (skip copying).
+    scan_skip: Vec<u64>,
+    bufs: OpBuffers,
+    state: OpState,
+    /// Scratch for value reads.
+    read_buf: Vec<u8>,
+}
+
+impl KvOp {
+    /// Starts a get.
+    pub fn get(store: &KvStore, key: u64, bufs: OpBuffers) -> Self {
+        KvOp {
+            kind: OpKind::Get,
+            key,
+            value: None,
+            scan_skip: Vec::new(),
+            bufs,
+            state: OpState::GetIndex(IndexGet::new(&store.index, key)),
+            read_buf: Vec::new(),
+        }
+    }
+
+    /// Starts a put (update-or-insert) of `value`.
+    pub fn put(store: &KvStore, key: u64, value: Box<[u8]>, bufs: OpBuffers) -> Self {
+        KvOp {
+            kind: OpKind::Put,
+            key,
+            value: Some(value),
+            scan_skip: Vec::new(),
+            bufs,
+            state: OpState::PutIndex(IndexGet::new(&store.index, key)),
+            read_buf: Vec::new(),
+        }
+    }
+
+    /// Starts a get that skips index traversal — the CR layer's hot-hit path
+    /// (§3.2.3): the cached entry already resolved the item location.
+    pub fn get_cached(key: u64, id: ItemId, bufs: OpBuffers) -> Self {
+        KvOp {
+            kind: OpKind::Get,
+            key,
+            value: None,
+            scan_skip: Vec::new(),
+            bufs,
+            state: OpState::GetItem(id),
+            read_buf: Vec::new(),
+        }
+    }
+
+    /// Starts a put that skips index traversal (hot-hit path).
+    pub fn put_cached(key: u64, id: ItemId, value: Box<[u8]>, bufs: OpBuffers) -> Self {
+        KvOp {
+            kind: OpKind::Put,
+            key,
+            value: Some(value),
+            scan_skip: Vec::new(),
+            bufs,
+            state: OpState::PutItem(id),
+            read_buf: Vec::new(),
+        }
+    }
+
+    /// Starts a delete.
+    pub fn delete(store: &KvStore, key: u64, bufs: OpBuffers) -> Self {
+        KvOp {
+            kind: OpKind::Delete,
+            key,
+            value: None,
+            scan_skip: Vec::new(),
+            bufs,
+            state: OpState::DelIndex(IndexRemove::new(&store.index, key)),
+            read_buf: Vec::new(),
+        }
+    }
+
+    /// Starts a scan of up to `limit` items from `key`, skipping `skip`
+    /// (keys the cache-resident layer already served, §4).
+    pub fn scan(store: &KvStore, key: u64, limit: usize, skip: Vec<u64>, bufs: OpBuffers) -> Self {
+        KvOp {
+            kind: OpKind::Scan,
+            key,
+            value: None,
+            scan_skip: skip,
+            bufs,
+            state: OpState::Scan(IndexScan::new(&store.index, key, u64::MAX, limit)),
+            read_buf: Vec::new(),
+        }
+    }
+
+    /// The target key.
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+
+    /// The operation kind.
+    pub fn kind(&self) -> OpKind {
+        self.kind
+    }
+
+    /// Advances the operation. Call once per scheduling slot; interleave
+    /// other `KvOp`s between `Ready` polls for batched (coroutine) indexing.
+    pub fn poll(&mut self, ctx: &mut Ctx<'_>, store: &mut KvStore) -> Step<KvOpOutput> {
+        match &mut self.state {
+            OpState::GetIndex(fsm) => match fsm.poll(ctx, &store.index) {
+                Step::Done(Some(id)) => {
+                    // Prefetch the value before the copy stage.
+                    ctx.prefetch(store.items.value_addr(id), store.items.value_len(id));
+                    self.state = OpState::GetItem(id);
+                    Step::Ready
+                }
+                Step::Done(None) => Step::Done(KvOpOutput::miss()),
+                Step::Ready => Step::Ready,
+                Step::Blocked => Step::Blocked,
+            },
+            OpState::GetItem(id) => {
+                match store
+                    .items
+                    .read_into(ctx, *id, self.bufs.resp_addr, &mut self.read_buf)
+                {
+                    Step::Done(len) => Step::Done(KvOpOutput {
+                        ok: true,
+                        value: Some(self.read_buf.clone().into_boxed_slice()),
+                        scan_count: 0,
+                        payload: len,
+                    }),
+                    Step::Ready => Step::Ready,
+                    Step::Blocked => Step::Blocked,
+                }
+            }
+            OpState::PutIndex(fsm) => match fsm.poll(ctx, &store.index) {
+                Step::Done(Some(id)) => {
+                    ctx.prefetch(store.items.value_addr(id), 8);
+                    self.state = OpState::PutItem(id);
+                    Step::Ready
+                }
+                Step::Done(None) => {
+                    self.state = OpState::PutAlloc;
+                    Step::Ready
+                }
+                Step::Ready => Step::Ready,
+                Step::Blocked => Step::Blocked,
+            },
+            OpState::PutItem(id) => {
+                let value = self.value.as_ref().expect("put without payload");
+                match store.items.write_from(ctx, *id, self.bufs.recv_addr, value) {
+                    Step::Done(()) => Step::Done(KvOpOutput {
+                        ok: true,
+                        value: None,
+                        scan_count: 0,
+                        payload: 0,
+                    }),
+                    Step::Ready => Step::Ready,
+                    Step::Blocked => Step::Blocked,
+                }
+            }
+            OpState::PutAlloc => {
+                let value = self.value.as_ref().expect("put without payload");
+                // Allocate the item and copy the payload from the receive
+                // buffer (allocator cost + the copy itself).
+                ctx.compute_ns(40);
+                ctx.read(self.bufs.recv_addr, value.len());
+                let id = store.items.alloc(value);
+                ctx.write(store.items.value_addr(id), value.len());
+                self.state = OpState::PutInsert(IndexInsert::new(&store.index, self.key, id), id);
+                Step::Ready
+            }
+            OpState::PutInsert(fsm, id) => match fsm.poll(ctx, &mut store.index) {
+                Step::Done(Ok(())) => Step::Done(KvOpOutput {
+                    ok: true,
+                    value: None,
+                    scan_count: 0,
+                    payload: 0,
+                }),
+                Step::Done(Err(IndexInsertError::Duplicate(existing))) => {
+                    // Lost an insert race: free our item, update the winner.
+                    let id = *id;
+                    store.items.free(id);
+                    ctx.prefetch(store.items.value_addr(existing), 8);
+                    self.state = OpState::PutItem(existing);
+                    Step::Ready
+                }
+                Step::Done(Err(IndexInsertError::Full)) => Step::Done(KvOpOutput::miss()),
+                Step::Ready => Step::Ready,
+                Step::Blocked => Step::Blocked,
+            },
+            OpState::DelIndex(fsm) => match fsm.poll(ctx, &mut store.index) {
+                Step::Done(Some(id)) => {
+                    // Deferred reclamation: racing cached reads may still
+                    // hold this ItemId (§3.2.2 epoch discipline).
+                    store.items.retire(id);
+                    Step::Done(KvOpOutput {
+                        ok: true,
+                        value: None,
+                        scan_count: 0,
+                        payload: 0,
+                    })
+                }
+                Step::Done(None) => Step::Done(KvOpOutput::miss()),
+                Step::Ready => Step::Ready,
+                Step::Blocked => Step::Blocked,
+            },
+            OpState::Scan(fsm) => match fsm.poll(ctx, &store.index) {
+                Step::Done(pairs) => {
+                    self.state = OpState::ScanCopy {
+                        pairs,
+                        next: 0,
+                        copied_payload: 0,
+                    };
+                    Step::Ready
+                }
+                Step::Ready => Step::Ready,
+                Step::Blocked => Step::Blocked,
+            },
+            OpState::ScanCopy {
+                pairs,
+                next,
+                copied_payload,
+            } => {
+                // Copy a few items per poll so long scans stay interleaved.
+                const PER_POLL: usize = 4;
+                let mut copied = 0;
+                while *next < pairs.len() && copied < PER_POLL {
+                    let (key, id) = pairs[*next];
+                    *next += 1;
+                    if self.scan_skip.binary_search(&key).is_ok() {
+                        continue; // already served by the CR layer
+                    }
+                    match store.items.read_into(
+                        ctx,
+                        id,
+                        self.bufs.resp_addr + *copied_payload,
+                        &mut self.read_buf,
+                    ) {
+                        Step::Done(len) => {
+                            *copied_payload += len;
+                            copied += 1;
+                        }
+                        Step::Ready => {
+                            *next -= 1;
+                            return Step::Ready;
+                        }
+                        Step::Blocked => {
+                            *next -= 1;
+                            return Step::Blocked;
+                        }
+                    }
+                }
+                if *next >= pairs.len() {
+                    Step::Done(KvOpOutput {
+                        ok: true,
+                        value: None,
+                        scan_count: pairs.len() as u32,
+                        payload: *copied_payload,
+                    })
+                } else {
+                    Step::Ready
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use utps_sim::time::SimTime;
+    use utps_sim::{Engine, MachineConfig, Process, StatClass};
+
+    const BUFS: OpBuffers = OpBuffers {
+        recv_addr: 0x10_0000,
+        resp_addr: 0x20_0000,
+    };
+
+    fn with_store<R: 'static>(
+        store: KvStore,
+        f: impl FnOnce(&mut Ctx<'_>, &mut KvStore) -> R + 'static,
+    ) -> (R, KvStore) {
+        struct Once<F, R> {
+            f: Option<F>,
+            out: Rc<RefCell<Option<R>>>,
+        }
+        impl<F: FnOnce(&mut Ctx<'_>, &mut KvStore) -> R, R> Process<KvStore> for Once<F, R> {
+            fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut KvStore) {
+                if let Some(f) = self.f.take() {
+                    *self.out.borrow_mut() = Some(f(ctx, world));
+                }
+                ctx.halt();
+            }
+        }
+        let out = Rc::new(RefCell::new(None));
+        let mut eng = Engine::new(MachineConfig::tiny(), 1, store);
+        eng.spawn(
+            Some(0),
+            StatClass::Other,
+            Box::new(Once { f: Some(f), out: Rc::clone(&out) }),
+        );
+        eng.run_until(SimTime::from_millis(100));
+        let r = out.borrow_mut().take().expect("did not run");
+        (r, eng.world)
+    }
+
+    fn drive(ctx: &mut Ctx<'_>, store: &mut KvStore, op: &mut KvOp) -> KvOpOutput {
+        loop {
+            match op.poll(ctx, store) {
+                Step::Done(v) => return v,
+                Step::Ready => {}
+                Step::Blocked => panic!("unexpected block"),
+            }
+        }
+    }
+
+    fn both_kinds(f: impl Fn(IndexKind) + Copy) {
+        f(IndexKind::Hash);
+        f(IndexKind::Tree);
+    }
+
+    #[test]
+    fn get_returns_populated_value() {
+        both_kinds(|kind| {
+            let store = KvStore::populate(kind, 100, 32);
+            let ((), _) = with_store(store, move |ctx, store| {
+                let mut op = KvOp::get(store, 42, BUFS);
+                let out = drive(ctx, store, &mut op);
+                assert!(out.ok);
+                assert_eq!(out.payload, 32);
+                assert_eq!(out.value.as_deref(), Some(&[0xabu8; 32][..]));
+                let mut miss = KvOp::get(store, 10_000, BUFS);
+                assert!(!drive(ctx, store, &mut miss).ok);
+            });
+        });
+    }
+
+    #[test]
+    fn put_updates_existing() {
+        both_kinds(|kind| {
+            let store = KvStore::populate(kind, 100, 8);
+            let ((), store) = with_store(store, move |ctx, store| {
+                let mut op = KvOp::put(store, 7, vec![9u8; 8].into_boxed_slice(), BUFS);
+                assert!(drive(ctx, store, &mut op).ok);
+            });
+            assert_eq!(store.get_native(7), Some(&[9u8; 8][..]));
+            assert_eq!(store.len(), 100);
+        });
+    }
+
+    #[test]
+    fn put_inserts_new_key() {
+        both_kinds(|kind| {
+            let store = KvStore::populate(kind, 100, 8);
+            let ((), store) = with_store(store, move |ctx, store| {
+                let mut op = KvOp::put(store, 5_000, vec![1u8; 16].into_boxed_slice(), BUFS);
+                assert!(drive(ctx, store, &mut op).ok);
+            });
+            assert_eq!(store.get_native(5_000), Some(&[1u8; 16][..]));
+            assert_eq!(store.len(), 101);
+        });
+    }
+
+    #[test]
+    fn delete_removes() {
+        both_kinds(|kind| {
+            let store = KvStore::populate(kind, 50, 8);
+            let ((), store) = with_store(store, move |ctx, store| {
+                let mut op = KvOp::delete(store, 10, BUFS);
+                assert!(drive(ctx, store, &mut op).ok);
+                let mut again = KvOp::delete(store, 10, BUFS);
+                assert!(!drive(ctx, store, &mut again).ok);
+            });
+            assert_eq!(store.get_native(10), None);
+            assert_eq!(store.len(), 49);
+        });
+    }
+
+    #[test]
+    fn scan_counts_and_skips() {
+        let store = KvStore::populate(IndexKind::Tree, 1_000, 16);
+        let ((), _) = with_store(store, |ctx, store| {
+            let mut op = KvOp::scan(store, 100, 20, vec![], BUFS);
+            let out = drive(ctx, store, &mut op);
+            assert_eq!(out.scan_count, 20);
+            assert_eq!(out.payload, 20 * 16);
+            // Skipped keys count toward scan_count but not payload.
+            let mut op = KvOp::scan(store, 100, 20, vec![100, 101, 102], BUFS);
+            let out = drive(ctx, store, &mut op);
+            assert_eq!(out.scan_count, 20);
+            assert_eq!(out.payload, 17 * 16);
+        });
+    }
+
+    #[test]
+    fn value_length_change_supported() {
+        let store = KvStore::populate(IndexKind::Hash, 10, 8);
+        let ((), store) = with_store(store, |ctx, store| {
+            let mut op = KvOp::put(store, 3, vec![5u8; 100].into_boxed_slice(), BUFS);
+            assert!(drive(ctx, store, &mut op).ok);
+        });
+        assert_eq!(store.get_native(3).unwrap().len(), 100);
+    }
+}

@@ -1,0 +1,37 @@
+//! Concurrent index structures over simulated memory.
+//!
+//! Two indexes back the paper's two stores:
+//!
+//! * [`cuckoo::CuckooMap`] — a bucketized concurrent cuckoo hash table in the
+//!   style of libcuckoo (2 hash functions, 4-slot buckets, BFS-bounded
+//!   displacement, per-bucket versioned locks) for μTPS-H;
+//! * [`btree::BplusTree`] — a B+-tree with optimistic lock coupling,
+//!   versioned nodes and leaf sibling links for μTPS-T. With 8-byte keys,
+//!   MassTree's trie-of-B+-trees collapses to a single B+-tree layer, which
+//!   is the dominant shape the paper exercises; this is the documented
+//!   substitution for MassTree.
+//!
+//! Every operation is a resumable state machine returning [`step::Step`]:
+//! in the discrete-event simulator a thread that hits a held lock must yield
+//! back to the engine (the lock holder is another simulated thread), and the
+//! same poll-based shape is exactly what the memory-resident layer's batched
+//! "coroutine" indexing needs — one FSM per request, a prefetch issued before
+//! every pointer dereference, and the worker round-robining the batch
+//! (§3.3).
+//!
+//! Values live in an [`item::ItemStore`]: stable-address allocations with the
+//! paper's per-item lock-and-version word (§3.3 concurrency control —
+//! ≤ 8-byte values update atomically, larger values lock; readers use
+//! seqlock-style validation).
+
+pub mod btree;
+pub mod cuckoo;
+pub mod item;
+pub mod step;
+pub mod unified;
+
+pub use btree::BplusTree;
+pub use cuckoo::CuckooMap;
+pub use item::{ItemId, ItemStore};
+pub use step::Step;
+pub use unified::{Index, IndexGet, IndexInsert, IndexInsertError, IndexKind, IndexRemove, IndexScan};

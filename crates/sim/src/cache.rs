@@ -1,0 +1,1060 @@
+//! Set-associative cache hierarchy with CAT way partitioning, DDIO, and
+//! directory-based coherence.
+//!
+//! The model tracks, per 64-byte line:
+//!
+//! * presence in each core's private L1/L2 (tag arrays with LRU),
+//! * presence in the shared LLC (tag array with LRU restricted to the
+//!   requester's CLOS way mask on allocation — Intel CAT semantics: the mask
+//!   limits *fills*, hits are served from any way),
+//! * a directory entry recording which cores hold private copies and whether
+//!   one of them holds the line modified.
+//!
+//! NIC DMA follows Intel DDIO: writes update an LLC-resident line in place,
+//! otherwise allocate only within the DDIO way mask; DMA reads never allocate.
+//! This reproduces the §2.2.1 effect the paper builds on — in a
+//! run-to-completion design the index/data stages evict network-buffer lines
+//! from the LLC, turning subsequent NIC writes into DDIO-initiated misses.
+
+use crate::config::MachineConfig;
+use crate::hashutil::FxHashMap;
+use crate::metrics::{AccessKind, Metrics};
+use crate::time::SimTime;
+
+/// Attribution class for metrics, mirroring the paper's per-stage PCM
+/// measurements.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StatClass {
+    /// Cache-resident layer threads.
+    Cr = 0,
+    /// Memory-resident layer threads.
+    Mr = 1,
+    /// Everything else (clients, management, baseline RTC workers).
+    Other = 2,
+}
+
+const INVALID_TAG: u64 = u64::MAX;
+
+#[derive(Clone, Copy)]
+struct PrivLine {
+    tag: u64,
+    lru: u64,
+    modified: bool,
+}
+
+impl PrivLine {
+    const EMPTY: PrivLine = PrivLine {
+        tag: INVALID_TAG,
+        lru: 0,
+        modified: false,
+    };
+}
+
+/// One private cache level (L1 or L2) of one core.
+struct PrivCache {
+    ways: usize,
+    set_mask: u64,
+    lines: Vec<PrivLine>,
+    counter: u64,
+}
+
+impl PrivCache {
+    fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets.is_power_of_two(), "cache sets must be a power of two");
+        let _ = sets;
+        PrivCache {
+            ways,
+            set_mask: sets as u64 - 1,
+            lines: vec![PrivLine::EMPTY; sets * ways],
+            counter: 0,
+        }
+    }
+
+    #[inline]
+    fn set_range(&self, line: u64) -> core::ops::Range<usize> {
+        let set = (line & self.set_mask) as usize;
+        set * self.ways..(set + 1) * self.ways
+    }
+
+    /// Returns the slot index of `line` if present, bumping recency.
+    fn lookup(&mut self, line: u64) -> Option<usize> {
+        let range = self.set_range(line);
+        self.counter += 1;
+        for i in range {
+            if self.lines[i].tag == line {
+                self.lines[i].lru = self.counter;
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Inserts `line`, returning the evicted line (tag, modified) if any.
+    fn insert(&mut self, line: u64, modified: bool) -> Option<(u64, bool)> {
+        let range = self.set_range(line);
+        self.counter += 1;
+        let mut victim = range.start;
+        for i in range {
+            if self.lines[i].tag == line {
+                // Already present: just refresh state.
+                self.lines[i].lru = self.counter;
+                self.lines[i].modified |= modified;
+                return None;
+            }
+            if self.lines[i].tag == INVALID_TAG {
+                victim = i;
+                break;
+            }
+            if self.lines[i].lru < self.lines[victim].lru {
+                victim = i;
+            }
+        }
+        let old = self.lines[victim];
+        self.lines[victim] = PrivLine {
+            tag: line,
+            lru: self.counter,
+            modified,
+        };
+        if old.tag == INVALID_TAG {
+            None
+        } else {
+            Some((old.tag, old.modified))
+        }
+    }
+
+    /// Marks a resident line modified (RFO upgrade).
+    fn mark_modified(&mut self, slot: usize) {
+        self.lines[slot].modified = true;
+    }
+
+    /// Drops `line` if present; returns whether it was present and whether it
+    /// was modified.
+    fn invalidate(&mut self, line: u64) -> (bool, bool) {
+        let range = self.set_range(line);
+        for i in range {
+            if self.lines[i].tag == line {
+                let m = self.lines[i].modified;
+                self.lines[i] = PrivLine::EMPTY;
+                return (true, m);
+            }
+        }
+        (false, false)
+    }
+
+    /// Invalidates everything (used when a core changes roles in tests).
+    fn clear(&mut self) {
+        self.lines.fill(PrivLine::EMPTY);
+    }
+
+    fn contains(&self, line: u64) -> bool {
+        let set = (line & self.set_mask) as usize;
+        self.lines[set * self.ways..(set + 1) * self.ways]
+            .iter()
+            .any(|l| l.tag == line)
+    }
+}
+
+#[derive(Clone, Copy)]
+struct LlcLine {
+    tag: u64,
+    lru: u64,
+    dirty: bool,
+}
+
+impl LlcLine {
+    const EMPTY: LlcLine = LlcLine {
+        tag: INVALID_TAG,
+        lru: 0,
+        dirty: false,
+    };
+}
+
+/// The shared last-level cache with way-mask-restricted allocation.
+struct Llc {
+    ways: usize,
+    set_mask: u64,
+    lines: Vec<LlcLine>,
+    counter: u64,
+}
+
+impl Llc {
+    fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets.is_power_of_two(), "LLC sets must be a power of two");
+        assert!(ways <= 32, "way masks are u32");
+        let _ = sets;
+        Llc {
+            ways,
+            set_mask: sets as u64 - 1,
+            lines: vec![LlcLine::EMPTY; sets * ways],
+            counter: 0,
+        }
+    }
+
+    #[inline]
+    fn base(&self, line: u64) -> usize {
+        ((line & self.set_mask) as usize) * self.ways
+    }
+
+    /// Looks up `line` in any way (CAT restricts fills, not hits).
+    fn lookup(&mut self, line: u64) -> Option<usize> {
+        let base = self.base(line);
+        self.counter += 1;
+        for w in 0..self.ways {
+            if self.lines[base + w].tag == line {
+                self.lines[base + w].lru = self.counter;
+                return Some(base + w);
+            }
+        }
+        None
+    }
+
+    /// Allocates `line` in the LRU way among those enabled in `mask`.
+    /// Returns the evicted tag, if a valid line was displaced.
+    fn insert(&mut self, line: u64, mask: u32, dirty: bool) -> Option<u64> {
+        debug_assert!(mask != 0, "empty CLOS mask");
+        let base = self.base(line);
+        self.counter += 1;
+        let mut victim = None;
+        for w in 0..self.ways {
+            if mask & (1 << w) == 0 {
+                continue;
+            }
+            let l = &self.lines[base + w];
+            if l.tag == INVALID_TAG {
+                victim = Some(base + w);
+                break;
+            }
+            match victim {
+                Some(v) if self.lines[v].lru <= l.lru => {}
+                _ => victim = Some(base + w),
+            }
+        }
+        let victim = victim.expect("CLOS mask has no ways within associativity");
+        let old = self.lines[victim];
+        self.lines[victim] = LlcLine {
+            tag: line,
+            lru: self.counter,
+            dirty,
+        };
+        (old.tag != INVALID_TAG).then_some(old.tag)
+    }
+
+    #[cfg(test)]
+    fn way_of(&self, line: u64) -> Option<usize> {
+        let base = self.base(line);
+        (0..self.ways).find(|w| self.lines[base + w].tag == line)
+    }
+}
+
+#[derive(Clone, Copy, Default)]
+struct DirEntry {
+    /// Bitmask of cores holding the line in a private cache.
+    sharers: u64,
+    /// Core holding the line modified, if any.
+    owner: Option<u8>,
+}
+
+/// The full simulated cache hierarchy of the server socket.
+pub struct CacheHierarchy {
+    cfg: MachineConfig,
+    l1: Vec<PrivCache>,
+    l2: Vec<PrivCache>,
+    llc: Llc,
+    dir: FxHashMap<u64, DirEntry>,
+    clos: Vec<u32>,
+    ddio_mask: u32,
+    /// Per-core in-flight software prefetches: line → ready time.
+    prefetched: Vec<FxHashMap<u64, SimTime>>,
+    /// Shared-DRAM rate limiter: accesses are counted in coarse time
+    /// buckets; once a bucket exceeds the channel's line capacity, each
+    /// further access in it waits for its queue position. Bucket-granular
+    /// counting is commutative, so the discrete-event engine's bounded
+    /// cross-core clock skew cannot create phantom waits.
+    dram_bucket: u64,
+    dram_counts: [u64; 2],
+    /// Per-line atomic contention: under a CAS storm every successful
+    /// acquire must win the cache line against each contender, so the
+    /// serialized cost of one atomic grows with the number of distinct
+    /// cores hammering the line. Tracked per bucket like the DRAM channel.
+    atomic_lines: FxHashMap<u64, AtomicLineState>,
+    atomic_bucket: u64,
+    /// Access and event counters.
+    pub metrics: Metrics,
+}
+
+#[derive(Clone, Copy, Default)]
+struct AtomicLineState {
+    bucket: u64,
+    count: u64,
+    cores: u64,
+}
+
+/// Width of a DRAM accounting bucket (must exceed the longest process step).
+const DRAM_BUCKET_PS: u64 = 2 * crate::time::MICROS;
+
+impl CacheHierarchy {
+    /// Builds the hierarchy for `cores` server cores.
+    pub fn new(cfg: &MachineConfig, cores: usize) -> Self {
+        let c = &cfg.cache;
+        let full: u32 = if c.llc_ways == 32 {
+            u32::MAX
+        } else {
+            (1u32 << c.llc_ways) - 1
+        };
+        let ddio_mask = ((1u32 << c.ddio_ways) - 1) << (c.llc_ways - c.ddio_ways);
+        CacheHierarchy {
+            l1: (0..cores).map(|_| PrivCache::new(c.l1_sets, c.l1_ways)).collect(),
+            l2: (0..cores).map(|_| PrivCache::new(c.l2_sets, c.l2_ways)).collect(),
+            llc: Llc::new(c.llc_sets, c.llc_ways),
+            dir: FxHashMap::default(),
+            clos: vec![full; cores],
+            ddio_mask,
+            prefetched: (0..cores).map(|_| FxHashMap::default()).collect(),
+            dram_bucket: 0,
+            dram_counts: [0; 2],
+            atomic_lines: FxHashMap::default(),
+            atomic_bucket: 0,
+            metrics: Metrics::default(),
+            cfg: cfg.clone(),
+        }
+    }
+
+    /// Number of simulated server cores.
+    pub fn cores(&self) -> usize {
+        self.l1.len()
+    }
+
+    /// The mask covering every LLC way.
+    pub fn full_mask(&self) -> u32 {
+        if self.llc.ways == 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.llc.ways) - 1
+        }
+    }
+
+    /// The DDIO allocation mask (the `ddio_ways` rightmost ways in Intel's
+    /// numbering, i.e. the highest-numbered ways here).
+    pub fn ddio_mask(&self) -> u32 {
+        self.ddio_mask
+    }
+
+    /// Sets the CLOS (allocation) way mask for `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask is zero or has bits beyond the associativity.
+    pub fn set_clos_mask(&mut self, core: usize, mask: u32) {
+        assert!(mask != 0, "CLOS mask must enable at least one way");
+        assert_eq!(mask & !self.full_mask(), 0, "mask exceeds associativity");
+        self.clos[core] = mask;
+    }
+
+    /// Returns the CLOS way mask of `core`.
+    pub fn clos_mask(&self, core: usize) -> u32 {
+        self.clos[core]
+    }
+
+    /// Charges a memory access of `len` bytes at `addr` by `core`.
+    ///
+    /// Returns the total cost in picoseconds. Multi-line accesses charge the
+    /// full latency for the first line and a streaming cost for subsequent
+    /// lines that miss (hardware prefetchers hide most of their latency).
+    pub fn access(
+        &mut self,
+        core: usize,
+        class: StatClass,
+        addr: usize,
+        len: usize,
+        write: bool,
+        now: SimTime,
+    ) -> u64 {
+        let (first, last) = line_span(addr, len, self.cfg.cache.line);
+        let mut cost = 0;
+        for (i, line) in (first..=last).enumerate() {
+            let (c, kind) = self.access_line(core, line, write, now + cost);
+            self.metrics.record(class as usize, kind);
+            if i > 0 && (kind == AccessKind::Dram) {
+                cost += self.cfg.cost.dram_stream;
+            } else {
+                cost += c;
+            }
+        }
+        cost
+    }
+
+    /// Charges an atomic read-modify-write on the line at `addr`.
+    /// `hold` is extra picoseconds the line stays unavailable to other
+    /// contenders (e.g. the copy a lock protects); pass 0 for bare atomics.
+    pub fn atomic_hold(
+        &mut self,
+        core: usize,
+        class: StatClass,
+        addr: usize,
+        now: SimTime,
+        hold: u64,
+    ) -> u64 {
+        let line = (addr / self.cfg.cache.line) as u64;
+        let had_others = self
+            .dir
+            .get(&line)
+            .map(|d| d.sharers & !(1u64 << core) != 0)
+            .unwrap_or(false);
+        let (mut cost, kind) = self.access_line(core, line, true, now);
+        self.metrics.record(class as usize, kind);
+        cost += self.cfg.cost.atomic_extra;
+        if had_others {
+            cost += self.cfg.cost.invalidate_extra;
+        }
+        let storm = self.atomic_line_wait(core, line, now, hold);
+        self.metrics.storm_wait_ps += storm;
+        cost + storm
+    }
+
+    /// Charges an atomic read-modify-write on the line at `addr`.
+    pub fn atomic(&mut self, core: usize, class: StatClass, addr: usize, now: SimTime) -> u64 {
+        self.atomic_hold(core, class, addr, now, 0)
+    }
+
+    /// Serialization delay for an atomic on `line`: each atomic occupies the
+    /// line for one cross-core transfer per distinct contender (the CAS
+    /// storm) plus the explicit hold time; once a bucket's capacity at that
+    /// service rate is exceeded, later atomics queue.
+    fn atomic_line_wait(&mut self, core: usize, line: u64, now: SimTime, hold: u64) -> u64 {
+        const BUCKET: u64 = DRAM_BUCKET_PS;
+        let b = now.as_ps() / BUCKET;
+        if b > self.atomic_bucket {
+            self.atomic_bucket = b;
+            // Drop stale lines but keep live storms (their carry encodes the
+            // queue of unserved contenders).
+            if self.atomic_lines.len() > 1 << 15 {
+                self.atomic_lines.retain(|_, e| e.bucket + 2 >= b);
+            }
+        }
+        let e = self.atomic_lines.entry(line).or_default();
+        // Buckets never move backwards: accesses from cores whose clocks lag
+        // (bounded engine skew) count into the line's current bucket.
+        if b > e.bucket {
+            let contenders = (e.cores.count_ones() as u64).max(1);
+            let service = self.cfg.cost.remote_dirty * contenders + hold;
+            let cap = (BUCKET / service).max(1);
+            // Unserved backlog carries into the new bucket so sustained
+            // storms keep queueing (mirrors the DRAM channel's carry).
+            e.count = if e.bucket + 1 == b {
+                e.count.saturating_sub(cap)
+            } else {
+                0
+            };
+            if e.bucket + 1 != b {
+                e.cores = 0;
+            }
+            e.bucket = b;
+        }
+        e.cores |= 1u64 << (core as u64 & 63);
+        let contenders = e.cores.count_ones() as u64;
+        e.count += 1;
+        if contenders < 2 {
+            return hold / 8; // uncontended: the hold overlaps with compute
+        }
+        let service = self.cfg.cost.remote_dirty * contenders + hold;
+        let cap = (BUCKET / service).max(1);
+        e.count.saturating_sub(cap) * service
+    }
+
+    /// Issues a software prefetch: performs the fill state transitions now
+    /// and records when the data will be ready; a later access pays only the
+    /// remaining latency. Prefetches beyond the core's MSHR budget are
+    /// dropped (as real cores do), bounding memory-level parallelism.
+    pub fn prefetch(&mut self, core: usize, class: StatClass, addr: usize, len: usize, now: SimTime) {
+        let (first, last) = line_span(addr, len, self.cfg.cache.line);
+        for line in first..=last {
+            if self.prefetched[core].contains_key(&line) {
+                continue;
+            }
+            // Enforce the fill-buffer budget: count in-flight fills,
+            // lazily dropping completed entries.
+            if self.prefetched[core].len() >= self.cfg.cost.mshr {
+                self.prefetched[core].retain(|_, &mut ready| ready > now);
+                if self.prefetched[core].len() >= self.cfg.cost.mshr {
+                    continue; // dropped: the demand access pays full latency
+                }
+            }
+            let (cost, kind) = self.access_line(core, line, false, now);
+            self.metrics.record(class as usize, kind);
+            if cost > self.cfg.cost.l1_hit {
+                self.prefetched[core].insert(line, now + cost);
+            }
+        }
+    }
+
+    /// A NIC DMA write (DDIO): update in place on LLC hit, otherwise allocate
+    /// within the DDIO ways; any private copies are invalidated.
+    pub fn nic_write(&mut self, addr: usize, len: usize) {
+        let (first, last) = line_span(addr, len, self.cfg.cache.line);
+        for line in first..=last {
+            self.invalidate_private(line, None);
+            if let Some(slot) = self.llc.lookup(line) {
+                self.llc.lines[slot].dirty = true;
+                self.metrics.ddio_updates += 1;
+            } else {
+                if let Some(evicted) = self.llc.insert(line, self.ddio_mask, true) {
+                    self.drop_llc_tag(evicted);
+                }
+                self.metrics.ddio_allocs += 1;
+            }
+        }
+    }
+
+    /// A NIC DMA read: served from LLC or DRAM, never allocates, never
+    /// disturbs core-private state (the paper relies on this: posting a
+    /// response buffer does not cost the CR layer anything).
+    pub fn nic_read(&mut self, addr: usize, len: usize) {
+        let (first, last) = line_span(addr, len, self.cfg.cache.line);
+        for line in first..=last {
+            // A modified private copy must be snooped back so the NIC reads
+            // fresh data; the line stays in the owner's cache as shared.
+            if let Some(dir) = self.dir.get_mut(&line) {
+                dir.owner = None;
+            }
+            self.llc.lookup(line);
+        }
+    }
+
+    /// Invalidates both private levels of `core` (role switches in tests).
+    pub fn clear_core(&mut self, core: usize) {
+        self.l1[core].clear();
+        self.l2[core].clear();
+        self.prefetched[core].clear();
+        self.dir.retain(|_, d| {
+            if d.owner == Some(core as u8) {
+                d.owner = None;
+            }
+            d.sharers &= !(1u64 << core);
+            d.sharers != 0 || d.owner.is_some()
+        });
+    }
+
+    /// Core access path for one line. Returns (cost, where it was served).
+    fn access_line(&mut self, core: usize, line: u64, write: bool, now: SimTime) -> (u64, AccessKind) {
+        let cost = &self.cfg.cost;
+        let (l1_hit, l2_hit, llc_hit, dram, remote_dirty, invalidate_extra) = (
+            cost.l1_hit,
+            cost.l2_hit,
+            cost.llc_hit,
+            cost.dram,
+            cost.remote_dirty,
+            cost.invalidate_extra,
+        );
+
+        // Software prefetch in flight? Pay only the remaining latency.
+        if let Some(ready) = self.prefetched[core].remove(&line) {
+            let wait = ready.since(now);
+            let extra = if write { self.rfo_upgrade(core, line) } else { 0 };
+            // The fill already happened at prefetch time; refresh recency.
+            self.l1[core].lookup(line);
+            if write {
+                if let Some(slot) = self.l1[core].lookup(line) {
+                    self.l1[core].mark_modified(slot);
+                }
+                self.dir.entry(line).or_default().owner = Some(core as u8);
+            }
+            return (wait + l1_hit + extra, AccessKind::L1);
+        }
+
+        // L1.
+        if let Some(slot) = self.l1[core].lookup(line) {
+            let mut c = l1_hit;
+            if write && !self.l1[core].lines[slot].modified {
+                c += self.rfo_upgrade(core, line);
+                self.l1[core].mark_modified(slot);
+                self.dir.entry(line).or_default().owner = Some(core as u8);
+            }
+            return (c, AccessKind::L1);
+        }
+
+        // L2.
+        if self.l2[core].lookup(line).is_some() {
+            let mut c = l2_hit;
+            if write {
+                c += self.rfo_upgrade(core, line);
+                self.dir.entry(line).or_default().owner = Some(core as u8);
+            }
+            self.fill_private(core, line, write);
+            return (c, AccessKind::L2);
+        }
+
+        // Coherence: modified in another core's private cache?
+        let dir = self.dir.get(&line).copied().unwrap_or_default();
+        if let Some(owner) = dir.owner {
+            if owner as usize != core {
+                let o = owner as usize;
+                if write {
+                    self.invalidate_private(line, None);
+                } else {
+                    // Downgrade the owner's copy to shared; data is also
+                    // written back into the LLC.
+                    if let Some(d) = self.dir.get_mut(&line) {
+                        d.owner = None;
+                    }
+                    let _ = o;
+                }
+                if let Some(evicted) = self.llc.insert(line, self.clos[core], true) {
+                    self.drop_llc_tag(evicted);
+                }
+                self.fill_private(core, line, write);
+                let d = self.dir.entry(line).or_default();
+                d.sharers |= 1u64 << core;
+                if write {
+                    d.owner = Some(core as u8);
+                } else {
+                    d.sharers |= 1u64 << o;
+                }
+                return (remote_dirty, AccessKind::Remote);
+            }
+        }
+
+        // LLC.
+        if self.llc.lookup(line).is_some() {
+            let mut c = llc_hit;
+            if write && dir.sharers & !(1u64 << core) != 0 {
+                self.invalidate_private_except(line, core);
+                c += invalidate_extra;
+            }
+            self.fill_private(core, line, write);
+            let d = self.dir.entry(line).or_default();
+            d.sharers |= 1u64 << core;
+            if write {
+                d.owner = Some(core as u8);
+            }
+            return (c, AccessKind::Llc);
+        }
+
+        // Another core may hold it clean (shared) while the LLC already
+        // evicted it (non-inclusive). Serve as a cache-to-cache transfer.
+        if dir.sharers & !(1u64 << core) != 0 {
+            let mut c = remote_dirty;
+            if write {
+                self.invalidate_private_except(line, core);
+                c += invalidate_extra;
+            }
+            self.fill_private(core, line, write);
+            let d = self.dir.entry(line).or_default();
+            d.sharers |= 1u64 << core;
+            if write {
+                d.owner = Some(core as u8);
+            }
+            return (c, AccessKind::Remote);
+        }
+
+        // DRAM: allocate in LLC within this core's CLOS mask, then fill
+        // private levels. The shared channel serializes concurrent misses,
+        // so loaded latency includes the queuing delay.
+        if let Some(evicted) = self.llc.insert(line, self.clos[core], write) {
+            self.drop_llc_tag(evicted);
+        }
+        self.fill_private(core, line, write);
+        let d = self.dir.entry(line).or_default();
+        d.sharers |= 1u64 << core;
+        if write {
+            d.owner = Some(core as u8);
+        }
+        let queue_wait = self.dram_queue_wait(now);
+        self.metrics.dram_wait_ps += queue_wait;
+        (dram + queue_wait, AccessKind::Dram)
+    }
+
+    /// Charges one line against the shared DRAM channel and returns the
+    /// queuing delay once the current bucket oversubscribes its capacity.
+    fn dram_queue_wait(&mut self, now: SimTime) -> u64 {
+        let svc = self.cfg.cost.dram_line_service;
+        if svc == 0 {
+            return 0;
+        }
+        let cap = DRAM_BUCKET_PS / svc;
+        let b = now.as_ps() / DRAM_BUCKET_PS;
+        if b > self.dram_bucket {
+            // Advance: unserved overflow carries into the next bucket.
+            let carry = if b == self.dram_bucket + 1 {
+                self.dram_counts[1].saturating_sub(cap)
+            } else {
+                0
+            };
+            self.dram_counts = [self.dram_counts[1], carry];
+            self.dram_bucket = b;
+        }
+        // Late (skewed) accesses land in the previous bucket's count.
+        let idx = if b < self.dram_bucket { 0 } else { 1 };
+        self.dram_counts[idx] += 1;
+        self.dram_counts[idx].saturating_sub(cap) * svc
+    }
+
+    /// Write-upgrade: invalidate all other private copies of `line`.
+    /// Returns the extra cost (zero if the line was exclusive already).
+    fn rfo_upgrade(&mut self, core: usize, line: u64) -> u64 {
+        let others = self
+            .dir
+            .get(&line)
+            .map(|d| d.sharers & !(1u64 << core) != 0 || matches!(d.owner, Some(o) if o as usize != core))
+            .unwrap_or(false);
+        if others {
+            self.invalidate_private_except(line, core);
+            self.cfg.cost.invalidate_extra
+        } else {
+            0
+        }
+    }
+
+    /// Fills `line` into `core`'s L1 and L2, handling evictions/writebacks.
+    fn fill_private(&mut self, core: usize, line: u64, modified: bool) {
+        if let Some((e2, d2)) = self.l2[core].insert(line, modified) {
+            self.evict_private_line(core, e2, d2);
+        }
+        if let Some((e1, d1)) = self.l1[core].insert(line, modified) {
+            if let Some((e2, d2)) = self.l2[core].insert(e1, d1) {
+                self.evict_private_line(core, e2, d2);
+            }
+        }
+    }
+
+    /// Handles a line leaving one of `core`'s private levels.
+    fn evict_private_line(&mut self, core: usize, line: u64, dirty: bool) {
+        // Non-inclusive private levels: the line may still live in the other
+        // level, in which case it has not left the core yet.
+        if self.l1[core].contains(line) || self.l2[core].contains(line) {
+            return;
+        }
+        if dirty {
+            // Write back into the LLC within the core's mask.
+            if self.llc.lookup(line).is_none() {
+                if let Some(evicted) = self.llc.insert(line, self.clos[core], true) {
+                    self.drop_llc_tag(evicted);
+                }
+            } else if let Some(slot) = self.llc.lookup(line) {
+                self.llc.lines[slot].dirty = true;
+            }
+        }
+        if let Some(d) = self.dir.get_mut(&line) {
+            d.sharers &= !(1u64 << core);
+            if d.owner == Some(core as u8) {
+                d.owner = None;
+            }
+            if d.sharers == 0 && d.owner.is_none() {
+                self.dir.remove(&line);
+            }
+        }
+    }
+
+    /// Invalidates every private copy of `line` (all cores).
+    fn invalidate_private(&mut self, line: u64, _by: Option<usize>) {
+        if let Some(d) = self.dir.remove(&line) {
+            let mut sharers = d.sharers;
+            while sharers != 0 {
+                let c = sharers.trailing_zeros() as usize;
+                sharers &= sharers - 1;
+                self.l1[c].invalidate(line);
+                self.l2[c].invalidate(line);
+                self.metrics.invalidations += 1;
+            }
+        }
+    }
+
+    /// Invalidates private copies of `line` in every core except `keep`.
+    fn invalidate_private_except(&mut self, line: u64, keep: usize) {
+        if let Some(d) = self.dir.get_mut(&line) {
+            let mut sharers = d.sharers & !(1u64 << keep);
+            d.sharers &= 1u64 << keep;
+            if matches!(d.owner, Some(o) if o as usize != keep) {
+                d.owner = None;
+            }
+            while sharers != 0 {
+                let c = sharers.trailing_zeros() as usize;
+                sharers &= sharers - 1;
+                self.l1[c].invalidate(line);
+                self.l2[c].invalidate(line);
+                self.metrics.invalidations += 1;
+            }
+        }
+    }
+
+    /// Drops an LLC tag's bookkeeping after eviction. Private copies survive
+    /// (non-inclusive hierarchy), so only LLC-specific state would go here;
+    /// the directory tracks private copies independently.
+    fn drop_llc_tag(&mut self, _tag: u64) {}
+}
+
+fn line_span(addr: usize, len: usize, line: usize) -> (u64, u64) {
+    let first = (addr / line) as u64;
+    let last = ((addr + len.max(1) - 1) / line) as u64;
+    (first, last)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+
+    fn hierarchy(cores: usize) -> CacheHierarchy {
+        CacheHierarchy::new(&MachineConfig::tiny(), cores)
+    }
+
+    const LINE: usize = 64;
+
+    #[test]
+    fn first_access_misses_then_hits_l1() {
+        let mut h = hierarchy(1);
+        let t = SimTime::ZERO;
+        let c1 = h.access(0, StatClass::Other, 0x1000, 8, false, t);
+        assert_eq!(c1, h.cfg.cost.dram);
+        let c2 = h.access(0, StatClass::Other, 0x1008, 8, false, t);
+        assert_eq!(c2, h.cfg.cost.l1_hit);
+        assert_eq!(h.metrics.class[2].dram, 1);
+        assert_eq!(h.metrics.class[2].l1, 1);
+    }
+
+    #[test]
+    fn l1_eviction_falls_back_to_l2() {
+        let mut h = hierarchy(1);
+        let t = SimTime::ZERO;
+        // Fill one L1 set beyond its associativity: tiny L1 has 8 sets ×
+        // 4 ways, so 5 lines mapping to set 0 overflow it.
+        for i in 0..5usize {
+            h.access(0, StatClass::Other, i * 8 * LINE, 8, false, t);
+        }
+        // The first line was evicted from L1 but lives in L2.
+        let c = h.access(0, StatClass::Other, 0, 8, false, t);
+        assert_eq!(c, h.cfg.cost.l2_hit);
+    }
+
+    #[test]
+    fn remote_dirty_line_costs_snoop() {
+        let mut h = hierarchy(2);
+        let t = SimTime::ZERO;
+        h.access(0, StatClass::Other, 0x4000, 8, true, t);
+        let c = h.access(1, StatClass::Other, 0x4000, 8, false, t);
+        assert_eq!(c, h.cfg.cost.remote_dirty);
+        assert_eq!(h.metrics.class[2].remote, 1);
+        // Now both hold it shared; core 1 hits locally.
+        let c2 = h.access(1, StatClass::Other, 0x4000, 8, false, t);
+        assert_eq!(c2, h.cfg.cost.l1_hit);
+    }
+
+    #[test]
+    fn write_invalidates_other_sharers() {
+        let mut h = hierarchy(2);
+        let t = SimTime::ZERO;
+        h.access(0, StatClass::Other, 0x8000, 8, false, t);
+        h.access(1, StatClass::Other, 0x8000, 8, false, t);
+        // Core 0 upgrades to modified: core 1's copy must die.
+        h.access(0, StatClass::Other, 0x8000, 8, true, t);
+        assert!(h.metrics.invalidations >= 1);
+        // Core 1 reads again: must pay a remote/LLC cost, not L1.
+        let c = h.access(1, StatClass::Other, 0x8000, 8, false, t);
+        assert!(c > h.cfg.cost.l1_hit, "stale copy survived invalidation");
+    }
+
+    #[test]
+    fn clos_mask_restricts_allocation() {
+        let mut h = hierarchy(1);
+        // Allocate only into way 0.
+        h.set_clos_mask(0, 0b1);
+        let t = SimTime::ZERO;
+        // Two different lines in the same LLC set evict each other from the
+        // single allowed way. tiny LLC has 128 sets.
+        let a = 0usize;
+        let b = 128 * LINE;
+        h.access(0, StatClass::Other, a, 8, false, t);
+        assert_eq!(h.llc.way_of(0), Some(0));
+        h.access(0, StatClass::Other, b, 8, false, t);
+        assert_eq!(h.llc.way_of(128), Some(0), "b must land in way 0");
+        assert_eq!(h.llc.way_of(0), None, "a must be evicted from the LLC");
+    }
+
+    #[test]
+    fn clos_hits_allowed_outside_mask() {
+        let mut h = hierarchy(2);
+        let t = SimTime::ZERO;
+        // Core 1 (full mask by default, but force a distinct way) allocates.
+        h.set_clos_mask(1, 0b10);
+        h.access(1, StatClass::Other, 0x2000, 8, false, t);
+        // Restrict core 0 to way 0 only: it must still *hit* the line that
+        // sits in way 1.
+        h.set_clos_mask(0, 0b01);
+        let c = h.access(0, StatClass::Other, 0x2000, 8, false, t);
+        assert!(c <= h.cfg.cost.remote_dirty, "should not go to DRAM");
+        assert_eq!(h.metrics.class[2].dram, 1, "only the initial fill missed");
+    }
+
+    #[test]
+    fn ddio_write_allocates_in_ddio_ways_only() {
+        let mut h = hierarchy(1);
+        h.nic_write(0x100 * LINE, 64);
+        let way = h.llc.way_of(0x100).expect("line must be in LLC");
+        let ddio_lowest = (h.cfg.cache.llc_ways - h.cfg.cache.ddio_ways) as usize;
+        assert!(way >= ddio_lowest, "DDIO must use the rightmost ways");
+        assert_eq!(h.metrics.ddio_allocs, 1);
+    }
+
+    #[test]
+    fn ddio_write_updates_resident_line_in_place() {
+        let mut h = hierarchy(1);
+        let t = SimTime::ZERO;
+        // A core pulls the line into LLC way 0 (full mask LRU picks way 0).
+        h.access(0, StatClass::Other, 0x300 * LINE, 8, false, t);
+        let before = h.llc.way_of(0x300).unwrap();
+        h.nic_write(0x300 * LINE, 64);
+        assert_eq!(h.llc.way_of(0x300), Some(before), "no re-allocation");
+        assert_eq!(h.metrics.ddio_updates, 1);
+        assert_eq!(h.metrics.ddio_allocs, 0);
+    }
+
+    #[test]
+    fn ddio_write_invalidates_private_copies() {
+        let mut h = hierarchy(1);
+        let t = SimTime::ZERO;
+        h.access(0, StatClass::Other, 0x500 * LINE, 8, false, t);
+        assert!(h.l1[0].contains(0x500));
+        h.nic_write(0x500 * LINE, 64);
+        assert!(!h.l1[0].contains(0x500), "NIC write must invalidate");
+        // The next core read sees the fresh data in the LLC.
+        let c = h.access(0, StatClass::Other, 0x500 * LINE, 8, false, t);
+        assert_eq!(c, h.cfg.cost.llc_hit);
+    }
+
+    #[test]
+    fn nic_read_does_not_allocate() {
+        let mut h = hierarchy(1);
+        h.nic_read(0x900 * LINE, 64);
+        assert_eq!(h.llc.way_of(0x900), None);
+    }
+
+    #[test]
+    fn prefetch_hides_latency() {
+        let mut h = hierarchy(1);
+        let t0 = SimTime::ZERO;
+        h.prefetch(0, StatClass::Other, 0xA000, 8, t0);
+        // Access after the fill completed: only L1 cost remains.
+        let later = t0 + h.cfg.cost.dram + 1;
+        let c = h.access(0, StatClass::Other, 0xA000, 8, false, later);
+        assert_eq!(c, h.cfg.cost.l1_hit);
+        // Access "too early" pays the residual wait. Issue at a time when
+        // the DRAM channel is idle so the fill takes exactly `dram`.
+        let t1 = t0 + 10 * h.cfg.cost.dram;
+        h.prefetch(0, StatClass::Other, 0xB000, 8, t1);
+        let half = t1 + h.cfg.cost.dram / 2;
+        let c2 = h.access(0, StatClass::Other, 0xB000, 8, false, half);
+        assert_eq!(c2, h.cfg.cost.dram - h.cfg.cost.dram / 2 + h.cfg.cost.l1_hit);
+    }
+
+    #[test]
+    fn streaming_access_charges_tail_lines_cheaply() {
+        let mut h = hierarchy(1);
+        let t = SimTime::ZERO;
+        // 4-line cold read: 1 full miss + 3 streamed lines.
+        let c = h.access(0, StatClass::Other, 0x40000, 256, false, t);
+        assert_eq!(c, h.cfg.cost.dram + 3 * h.cfg.cost.dram_stream);
+    }
+
+    #[test]
+    fn atomic_costs_more_when_contended() {
+        let mut h = hierarchy(2);
+        let t = SimTime::ZERO;
+        // Warm the line so both measurements start from a private copy.
+        h.access(0, StatClass::Other, 0xC000, 8, true, t);
+        let solo = h.atomic(0, StatClass::Other, 0xC000, t);
+        // Second core takes the line, then core 0 re-atomics: now contended.
+        h.access(1, StatClass::Other, 0xC000, 8, false, t);
+        let contended = h.atomic(0, StatClass::Other, 0xC000, t);
+        assert!(contended > solo, "{contended} !> {solo}");
+    }
+
+    #[test]
+    fn cas_storm_serializes_hot_line() {
+        let mut h = hierarchy(8);
+        let addr = 0xF000;
+        // Warm: single core hammers — cheap (no contention).
+        let mut solo_total = 0;
+        for i in 0..50 {
+            solo_total += h.atomic_hold(0, StatClass::Other, addr, SimTime(i * 100_000), 10_000);
+        }
+        // Storm: 8 cores hammer the same line within one bucket.
+        let mut storm_total = 0;
+        for i in 0..50u64 {
+            let core = (i % 8) as usize;
+            storm_total += h.atomic_hold(core, StatClass::Other, addr, SimTime(5_000_000 + i * 1_000), 10_000);
+        }
+        assert!(
+            storm_total > solo_total * 5,
+            "storm {storm_total} vs solo {solo_total}"
+        );
+    }
+
+
+    #[test]
+    fn dram_channel_saturates_at_configured_bandwidth() {
+        let mut cfg = MachineConfig::tiny();
+        cfg.cost.dram_line_service = 2_200;
+        let mut h = CacheHierarchy::new(&cfg, 8);
+        // 8 cores streaming disjoint cold lines as fast as latency allows.
+        let mut clocks = vec![SimTime::ZERO; 8];
+        let horizon = SimTime::from_micros(100);
+        let mut next_addr: usize = 1 << 30;
+        let mut lines = 0u64;
+        loop {
+            // Step the earliest core (mini engine).
+            let (core, _) = clocks
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, t)| t)
+                .map(|(i, &t)| (i, t))
+                .unwrap();
+            if clocks[core] >= horizon {
+                break;
+            }
+            let cost = h.access(core, StatClass::Other, next_addr, 8, false, clocks[core]);
+            next_addr += 4096; // new set every time: always a DRAM miss
+            clocks[core] += cost;
+            lines += 1;
+        }
+        let rate_mlps = lines as f64 / 100e-6 / 1e6; // million lines/s
+        // Capacity = 1/2.2ns = 454 M lines/s; unthrottled 8 cores at 82 ns
+        // latency would reach ~97 M/s... so use more pressure per core: this
+        // test instead checks we never exceed capacity plus slack.
+        assert!(rate_mlps < 470.0, "rate {rate_mlps} exceeds channel capacity");
+        // And with prefetch-driven parallelism the cap must bind from below:
+        let mut h2 = CacheHierarchy::new(&cfg, 8);
+        let mut clocks = vec![SimTime::ZERO; 8];
+        let mut addr: usize = 1 << 30;
+        let mut lines2 = 0u64;
+        loop {
+            let (core, _) = clocks
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, t)| t)
+                .map(|(i, &t)| (i, t))
+                .unwrap();
+            if clocks[core] >= horizon {
+                break;
+            }
+            // 1 KB streaming read: 16 lines in one access.
+            let cost = h2.access(core, StatClass::Other, addr, 1024, false, clocks[core]);
+            addr += 4096;
+            clocks[core] += cost;
+            lines2 += 16;
+        }
+        let rate2 = lines2 as f64 / 100e-6 / 1e6;
+        assert!(
+            rate2 < 600.0,
+            "streaming rate {rate2} M lines/s blows past the 454 M cap"
+        );
+    }
+
+    #[test]
+    fn clear_core_forgets_private_state() {
+        let mut h = hierarchy(1);
+        let t = SimTime::ZERO;
+        h.access(0, StatClass::Other, 0xD000, 8, false, t);
+        h.clear_core(0);
+        let c = h.access(0, StatClass::Other, 0xD000, 8, false, t);
+        assert!(c >= h.cfg.cost.llc_hit, "private copy must be gone");
+    }
+}

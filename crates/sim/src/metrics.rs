@@ -1,0 +1,150 @@
+//! Access counters — the simulator's equivalent of Intel PCM.
+//!
+//! Counters are kept per [`StatClass`](crate::cache::StatClass) (cache-resident
+//! layer, memory-resident layer, other), which is how the paper reports LLC
+//! miss rates per stage in §2.2.1.
+
+/// Where a memory access was served from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Served by the core's L1 data cache.
+    L1,
+    /// Served by the core's private L2.
+    L2,
+    /// Served by the shared LLC.
+    Llc,
+    /// Served by main memory (LLC miss).
+    Dram,
+    /// Served by a cache-to-cache transfer from another core.
+    Remote,
+}
+
+/// Per-class access counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ClassCounters {
+    /// L1 hits.
+    pub l1: u64,
+    /// L2 hits.
+    pub l2: u64,
+    /// LLC hits.
+    pub llc: u64,
+    /// DRAM accesses (LLC misses).
+    pub dram: u64,
+    /// Cache-to-cache transfers.
+    pub remote: u64,
+}
+
+impl ClassCounters {
+    /// Total number of accesses.
+    pub fn total(&self) -> u64 {
+        self.l1 + self.l2 + self.llc + self.dram + self.remote
+    }
+
+    /// Accesses that reached the LLC (i.e. missed both private levels).
+    pub fn llc_lookups(&self) -> u64 {
+        self.llc + self.dram + self.remote
+    }
+
+    /// LLC miss rate among accesses that reached the LLC, as in PCM's
+    /// `LLC misses / LLC references`. Returns 0 when there were none.
+    pub fn llc_miss_rate(&self) -> f64 {
+        let lookups = self.llc_lookups();
+        if lookups == 0 {
+            0.0
+        } else {
+            (self.dram + self.remote) as f64 / lookups as f64
+        }
+    }
+
+    fn record(&mut self, kind: AccessKind) {
+        match kind {
+            AccessKind::L1 => self.l1 += 1,
+            AccessKind::L2 => self.l2 += 1,
+            AccessKind::Llc => self.llc += 1,
+            AccessKind::Dram => self.dram += 1,
+            AccessKind::Remote => self.remote += 1,
+        }
+    }
+}
+
+/// Number of stat classes (see [`crate::cache::StatClass`]).
+pub const NUM_CLASSES: usize = 3;
+
+/// Machine-wide metrics: per-class cache counters plus event tallies.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    /// Cache counters indexed by stat class.
+    pub class: [ClassCounters; NUM_CLASSES],
+    /// Lines written into the LLC by the NIC via DDIO.
+    pub ddio_allocs: u64,
+    /// NIC writes that updated a line already resident in the LLC.
+    pub ddio_updates: u64,
+    /// Private-cache copies invalidated by writes/atomics of other agents.
+    pub invalidations: u64,
+    /// Failed lock acquisition attempts (spins).
+    pub lock_spins: u64,
+    /// Successful lock acquisitions.
+    pub lock_acquires: u64,
+    /// Total picoseconds of CAS-storm serialization waits.
+    pub storm_wait_ps: u64,
+    /// Total picoseconds of DRAM-channel queuing waits.
+    pub dram_wait_ps: u64,
+}
+
+impl Metrics {
+    /// Records an access of `kind` attributed to `class`.
+    #[inline]
+    pub fn record(&mut self, class: usize, kind: AccessKind) {
+        self.class[class].record(kind);
+    }
+
+    /// Sum of the per-class counters.
+    pub fn combined(&self) -> ClassCounters {
+        let mut out = ClassCounters::default();
+        for c in &self.class {
+            out.l1 += c.l1;
+            out.l2 += c.l2;
+            out.llc += c.llc;
+            out.dram += c.dram;
+            out.remote += c.remote;
+        }
+        out
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&mut self) {
+        *self = Metrics::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_rate_definition() {
+        let mut c = ClassCounters::default();
+        assert_eq!(c.llc_miss_rate(), 0.0);
+        c.l1 = 100; // L1 hits never reach the LLC
+        c.llc = 6;
+        c.dram = 3;
+        c.remote = 1;
+        assert_eq!(c.llc_lookups(), 10);
+        assert!((c.llc_miss_rate() - 0.4).abs() < 1e-12);
+        assert_eq!(c.total(), 110);
+    }
+
+    #[test]
+    fn record_and_combine() {
+        let mut m = Metrics::default();
+        m.record(0, AccessKind::L1);
+        m.record(1, AccessKind::Dram);
+        m.record(2, AccessKind::Llc);
+        let all = m.combined();
+        assert_eq!(all.total(), 3);
+        assert_eq!(m.class[0].l1, 1);
+        assert_eq!(m.class[1].dram, 1);
+        m.reset();
+        assert_eq!(m.combined().total(), 0);
+    }
+}

@@ -1,0 +1,310 @@
+//! Simulated RDMA fabric: pipes with bandwidth/message-rate limits plus
+//! delay queues.
+//!
+//! The model covers what the paper's evaluation exercises:
+//!
+//! * clients send requests over a shared 200 Gb/s inbound pipe; the
+//!   server-side RNIC DMAs them into receive-buffer slots (the DMA itself is
+//!   performed by the RPC layer, which charges [`CacheHierarchy::nic_write`]
+//!   — DDIO — for each delivered message);
+//! * the server sends responses over a shared outbound pipe to per-client
+//!   delivery queues;
+//! * one-sided verbs for the passive baselines are ordinary messages executed
+//!   by a NIC DMA-engine process in `utps-baselines`.
+//!
+//! [`CacheHierarchy::nic_write`]: crate::cache::CacheHierarchy::nic_write
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::config::NetConfig;
+use crate::time::SimTime;
+
+/// A message annotated with its delivery time.
+struct Pending<M> {
+    at: SimTime,
+    seq: u64,
+    msg: M,
+}
+
+impl<M> PartialEq for Pending<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<M> Eq for Pending<M> {}
+
+impl<M> PartialOrd for Pending<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Pending<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap becomes a min-heap on (at, seq).
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered delivery queue.
+pub struct DelayQueue<M> {
+    heap: BinaryHeap<Pending<M>>,
+    seq: u64,
+}
+
+impl<M> DelayQueue<M> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        DelayQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `msg` for delivery at `at`.
+    pub fn push_at(&mut self, at: SimTime, msg: M) {
+        self.seq += 1;
+        self.heap.push(Pending {
+            at,
+            seq: self.seq,
+            msg,
+        });
+    }
+
+    /// Pops the next message whose delivery time is ≤ `now`.
+    pub fn pop_ready(&mut self, now: SimTime) -> Option<M> {
+        if self.heap.peek().map(|p| p.at <= now).unwrap_or(false) {
+            Some(self.heap.pop().unwrap().msg)
+        } else {
+            None
+        }
+    }
+
+    /// Whether a message is deliverable at `now`.
+    pub fn has_ready(&self, now: SimTime) -> bool {
+        self.heap.peek().map(|p| p.at <= now).unwrap_or(false)
+    }
+
+    /// Delivery time of the earliest pending message.
+    pub fn next_at(&self) -> Option<SimTime> {
+        self.heap.peek().map(|p| p.at)
+    }
+
+    /// Number of in-flight messages.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<M> Default for DelayQueue<M> {
+    fn default() -> Self {
+        DelayQueue::new()
+    }
+}
+
+/// One direction of a NIC port: serializes messages at wire speed.
+pub struct Pipe {
+    cfg: NetConfig,
+    busy_until: SimTime,
+    /// Messages transmitted (for utilization stats).
+    pub messages: u64,
+    /// Payload bytes transmitted.
+    pub bytes: u64,
+}
+
+impl Pipe {
+    /// Creates an idle pipe with the given network parameters.
+    pub fn new(cfg: NetConfig) -> Self {
+        Pipe {
+            cfg,
+            busy_until: SimTime::ZERO,
+            messages: 0,
+            bytes: 0,
+        }
+    }
+
+    /// Transmits a message of `payload` bytes entering the NIC at `now`;
+    /// returns its arrival time at the far end.
+    pub fn transmit(&mut self, now: SimTime, payload: usize) -> SimTime {
+        let start = if self.busy_until > now {
+            self.busy_until
+        } else {
+            now
+        };
+        let wire = self.cfg.wire_time(payload);
+        self.busy_until = start + wire;
+        self.messages += 1;
+        self.bytes += payload as u64;
+        self.busy_until + self.cfg.one_way_delay
+    }
+
+    /// Time at which the pipe becomes idle.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+}
+
+/// The full client↔server fabric used by every KVS in this workspace.
+pub struct Fabric<M> {
+    /// Inbound (client→server) shared pipe.
+    pub to_server: Pipe,
+    /// Outbound (server→client) shared pipe.
+    pub to_client: Pipe,
+    server_rx: DelayQueue<M>,
+    client_rx: Vec<DelayQueue<M>>,
+}
+
+impl<M> Fabric<M> {
+    /// Creates a fabric with `clients` client endpoints.
+    pub fn new(cfg: NetConfig, clients: usize) -> Self {
+        Fabric {
+            to_server: Pipe::new(cfg.clone()),
+            to_client: Pipe::new(cfg),
+            server_rx: DelayQueue::new(),
+            client_rx: (0..clients).map(|_| DelayQueue::new()).collect(),
+        }
+    }
+
+    /// Number of client endpoints.
+    pub fn clients(&self) -> usize {
+        self.client_rx.len()
+    }
+
+    /// A client sends `msg` of `payload` bytes to the server at `now`.
+    pub fn client_send(&mut self, now: SimTime, payload: usize, msg: M) {
+        let at = self.to_server.transmit(now, payload);
+        self.server_rx.push_at(at, msg);
+    }
+
+    /// Server-side RNIC: next request that has arrived by `now`.
+    pub fn server_poll(&mut self, now: SimTime) -> Option<M> {
+        self.server_rx.pop_ready(now)
+    }
+
+    /// Whether a request is waiting at the server RNIC.
+    pub fn server_has_ready(&self, now: SimTime) -> bool {
+        self.server_rx.has_ready(now)
+    }
+
+    /// Requests in flight or queued at the server RNIC.
+    pub fn server_backlog(&self) -> usize {
+        self.server_rx.len()
+    }
+
+    /// The server sends `msg` of `payload` bytes to `client` at `now`.
+    pub fn server_send(&mut self, now: SimTime, payload: usize, client: usize, msg: M) {
+        let at = self.to_client.transmit(now, payload);
+        self.client_rx[client].push_at(at, msg);
+    }
+
+    /// Client-side poll for a delivered response.
+    pub fn client_poll(&mut self, client: usize, now: SimTime) -> Option<M> {
+        self.client_rx[client].pop_ready(now)
+    }
+
+    /// Earliest pending delivery for `client` (for client backoff).
+    pub fn client_next_at(&self, client: usize) -> Option<SimTime> {
+        self.client_rx[client].next_at()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{MICROS, NANOS};
+
+    fn net() -> NetConfig {
+        NetConfig::default()
+    }
+
+    #[test]
+    fn delay_queue_orders_by_time_then_fifo() {
+        let mut q = DelayQueue::new();
+        q.push_at(SimTime(300), "c");
+        q.push_at(SimTime(100), "a");
+        q.push_at(SimTime(100), "b");
+        let now = SimTime(1_000);
+        assert_eq!(q.pop_ready(now), Some("a"));
+        assert_eq!(q.pop_ready(now), Some("b"));
+        assert_eq!(q.pop_ready(now), Some("c"));
+        assert_eq!(q.pop_ready(now), None);
+    }
+
+    #[test]
+    fn delay_queue_withholds_future_messages() {
+        let mut q = DelayQueue::new();
+        q.push_at(SimTime(500), 1u32);
+        assert!(!q.has_ready(SimTime(499)));
+        assert_eq!(q.pop_ready(SimTime(499)), None);
+        assert!(q.has_ready(SimTime(500)));
+        assert_eq!(q.pop_ready(SimTime(500)), Some(1));
+    }
+
+    #[test]
+    fn pipe_serializes_back_to_back_messages() {
+        let mut p = Pipe::new(net());
+        let t0 = SimTime::ZERO;
+        let a1 = p.transmit(t0, 1024);
+        let a2 = p.transmit(t0, 1024);
+        let wire = net().wire_time(1024);
+        assert_eq!(a1, SimTime(wire + net().one_way_delay));
+        assert_eq!(a2, SimTime(2 * wire + net().one_way_delay));
+    }
+
+    #[test]
+    fn pipe_idles_between_sparse_messages() {
+        let mut p = Pipe::new(net());
+        let a1 = p.transmit(SimTime::ZERO, 64);
+        let late = SimTime(10 * MICROS);
+        let a2 = p.transmit(late, 64);
+        assert!(a1 < a2);
+        assert_eq!(a2, late + net().wire_time(64) + net().one_way_delay);
+    }
+
+    #[test]
+    fn bandwidth_bound_throughput_at_1kb() {
+        // Saturating 1 KB messages should cap near 200 Gb/s.
+        let mut p = Pipe::new(net());
+        let n = 10_000;
+        for _ in 0..n {
+            p.transmit(SimTime::ZERO, 1024);
+        }
+        let total_s = p.busy_until().as_secs_f64();
+        let gbps = (n as f64 * (1024 + 66) as f64 * 8.0) / total_s / 1e9;
+        assert!((gbps - 200.0).abs() < 1.0, "got {gbps} Gb/s");
+    }
+
+    #[test]
+    fn message_rate_cap_binds_for_tiny_messages() {
+        let mut p = Pipe::new(net());
+        let n = 1_000;
+        for _ in 0..n {
+            p.transmit(SimTime::ZERO, 16);
+        }
+        let rate = n as f64 / p.busy_until().as_secs_f64() / 1e6;
+        // min_msg_gap = 5.12 ns → ~195 M msgs/s.
+        assert!((rate - 195.3).abs() < 2.0, "got {rate} M msgs/s");
+    }
+
+    #[test]
+    fn fabric_round_trip() {
+        let mut f: Fabric<u64> = Fabric::new(net(), 2);
+        f.client_send(SimTime::ZERO, 64, 42);
+        assert_eq!(f.server_poll(SimTime(100 * NANOS)), None, "still in flight");
+        let arrive = SimTime(2 * MICROS);
+        assert_eq!(f.server_poll(arrive), Some(42));
+        f.server_send(arrive, 64, 1, 43);
+        assert_eq!(f.client_poll(0, SimTime(4 * MICROS)), None);
+        assert_eq!(f.client_poll(1, SimTime(4 * MICROS)), Some(43));
+    }
+}

@@ -1,0 +1,125 @@
+//! Record/replay of operation streams.
+//!
+//! The paper's §2.2.1 motivation experiment isolates the benefit of stage
+//! separation by *deterministic replay*: instead of forwarding requests
+//! between stages, the second stage regenerates the exact same request
+//! sequence. This module provides that tool for any workload: record a
+//! stream once, then hand identical copies to as many consumers as needed.
+
+use crate::ycsb::Op;
+use crate::Workload;
+
+/// Records the first `n` operations of `inner`, producing a replayable tape.
+pub fn record(inner: &mut dyn Workload, n: usize) -> Tape {
+    Tape {
+        keyspace: inner.keyspace(),
+        ops: (0..n).map(|_| inner.next_op()).collect(),
+    }
+}
+
+/// A recorded operation stream.
+#[derive(Clone, Debug)]
+pub struct Tape {
+    keyspace: u64,
+    ops: Vec<Op>,
+}
+
+impl Tape {
+    /// Number of recorded operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The recorded operations.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Creates a replaying workload over this tape (cycling at the end).
+    pub fn replayer(&self) -> ReplayWorkload {
+        ReplayWorkload {
+            tape: self.clone(),
+            pos: 0,
+            laps: 0,
+        }
+    }
+}
+
+/// Replays a [`Tape`], cycling when it reaches the end.
+#[derive(Clone, Debug)]
+pub struct ReplayWorkload {
+    tape: Tape,
+    pos: usize,
+    laps: u64,
+}
+
+impl ReplayWorkload {
+    /// How many times the tape has wrapped.
+    pub fn laps(&self) -> u64 {
+        self.laps
+    }
+}
+
+impl Workload for ReplayWorkload {
+    fn next_op(&mut self) -> Op {
+        let op = self.tape.ops[self.pos].clone();
+        self.pos += 1;
+        if self.pos == self.tape.ops.len() {
+            self.pos = 0;
+            self.laps += 1;
+        }
+        op
+    }
+
+    fn keyspace(&self) -> u64 {
+        self.tape.keyspace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ycsb::{Mix, YcsbWorkload};
+    use crate::zipf::KeyDist;
+
+    #[test]
+    fn replay_is_bit_identical() {
+        let mut src = YcsbWorkload::new(Mix::A, KeyDist::zipf(1_000, 0.99), 64, 50, 7, 0);
+        let tape = record(&mut src, 500);
+        assert_eq!(tape.len(), 500);
+        let mut a = tape.replayer();
+        let mut b = tape.replayer();
+        for _ in 0..500 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+        assert_eq!(a.laps(), 1);
+    }
+
+    #[test]
+    fn replay_cycles() {
+        let mut src = YcsbWorkload::new(Mix::C, KeyDist::uniform(10), 8, 50, 1, 0);
+        let tape = record(&mut src, 3);
+        let mut r = tape.replayer();
+        let first: Vec<Op> = (0..3).map(|_| r.next_op()).collect();
+        let second: Vec<Op> = (0..3).map(|_| r.next_op()).collect();
+        assert_eq!(first, second);
+        assert_eq!(r.laps(), 2);
+        assert_eq!(r.keyspace(), 10);
+    }
+
+    #[test]
+    fn two_replayers_are_independent() {
+        let mut src = YcsbWorkload::new(Mix::B, KeyDist::zipf(100, 0.9), 16, 50, 2, 0);
+        let tape = record(&mut src, 10);
+        let mut a = tape.replayer();
+        let _ = a.next_op();
+        let mut b = tape.replayer();
+        // `b` starts at the beginning regardless of `a`'s progress.
+        assert_eq!(b.next_op(), tape.ops()[0]);
+    }
+}

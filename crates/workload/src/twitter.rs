@@ -1,0 +1,158 @@
+//! Twitter production-cache workloads (Table 1, following Yang et al. \[65\]).
+//!
+//! The paper selects three representative clusters and characterizes each by
+//! its put ratio, average value size and zipf α; the traces themselves are
+//! proprietary, so this module synthesizes streams with exactly those
+//! parameters (DESIGN.md substitution table).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::ycsb::Op;
+use crate::zipf::{rng_for, KeyDist};
+use crate::Workload;
+
+/// The three clusters of Table 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TwitterCluster {
+    /// Cluster-12: skewed and write-intensive.
+    Cluster12,
+    /// Cluster-19: skewed and read-intensive.
+    Cluster19,
+    /// Cluster-31: write-dominant and uniform.
+    Cluster31,
+}
+
+impl TwitterCluster {
+    /// (put ratio, average value size in bytes, zipf α) from Table 1.
+    pub fn params(self) -> (f64, usize, f64) {
+        match self {
+            TwitterCluster::Cluster12 => (0.80, 1030, 0.30),
+            TwitterCluster::Cluster19 => (0.25, 101, 0.74),
+            TwitterCluster::Cluster31 => (0.94, 15, 0.0),
+        }
+    }
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            TwitterCluster::Cluster12 => "Cluster-12",
+            TwitterCluster::Cluster19 => "Cluster-19",
+            TwitterCluster::Cluster31 => "Cluster-31",
+        }
+    }
+
+    /// All three clusters, in the paper's order.
+    pub fn all() -> [TwitterCluster; 3] {
+        [
+            TwitterCluster::Cluster12,
+            TwitterCluster::Cluster19,
+            TwitterCluster::Cluster31,
+        ]
+    }
+}
+
+/// A synthesized Twitter-cluster workload.
+#[derive(Clone, Debug)]
+pub struct TwitterWorkload {
+    cluster: TwitterCluster,
+    put_ratio: f64,
+    avg_value: usize,
+    dist: KeyDist,
+    rng: SmallRng,
+}
+
+impl TwitterWorkload {
+    /// Creates a generator for `cluster` over `keyspace` keys.
+    pub fn new(cluster: TwitterCluster, keyspace: u64, seed: u64, stream: u64) -> Self {
+        let (put_ratio, avg_value, alpha) = cluster.params();
+        TwitterWorkload {
+            cluster,
+            put_ratio,
+            avg_value,
+            dist: KeyDist::zipf(keyspace, alpha),
+            rng: rng_for(seed ^ 0x7517, stream),
+        }
+    }
+
+    /// The cluster being synthesized.
+    pub fn cluster(&self) -> TwitterCluster {
+        self.cluster
+    }
+
+    /// Draws a value size: exponential-ish around the cluster average
+    /// (clamped to [1, 4×avg] so the mean holds without extreme outliers).
+    fn sample_value_len(&mut self) -> usize {
+        let u: f64 = self.rng.gen::<f64>().max(1e-9);
+        let v = -(u.ln()) * self.avg_value as f64;
+        (v as usize).clamp(1, self.avg_value * 4)
+    }
+}
+
+impl Workload for TwitterWorkload {
+    fn next_op(&mut self) -> Op {
+        let key = self.dist.sample(&mut self.rng);
+        if self.rng.gen::<f64>() < self.put_ratio {
+            let value_len = self.sample_value_len();
+            Op::Put { key, value_len }
+        } else {
+            Op::Get { key }
+        }
+    }
+
+    fn keyspace(&self) -> u64 {
+        self.dist.n()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_ratios_match_table1() {
+        for cluster in TwitterCluster::all() {
+            let (expect, _, _) = cluster.params();
+            let mut w = TwitterWorkload::new(cluster, 10_000, 8, 0);
+            let n = 50_000;
+            let puts = (0..n).filter(|_| w.next_op().is_put()).count();
+            let got = puts as f64 / n as f64;
+            assert!(
+                (got - expect).abs() < 0.01,
+                "{}: put ratio {got} vs {expect}",
+                cluster.name()
+            );
+        }
+    }
+
+    #[test]
+    fn average_value_sizes_match_table1() {
+        for cluster in TwitterCluster::all() {
+            let (_, avg, _) = cluster.params();
+            let mut w = TwitterWorkload::new(cluster, 10_000, 9, 0);
+            let mut sum = 0usize;
+            let mut count = 0usize;
+            for _ in 0..200_000 {
+                if let Op::Put { value_len, .. } = w.next_op() {
+                    sum += value_len;
+                    count += 1;
+                }
+            }
+            let got = sum as f64 / count as f64;
+            let expect = avg as f64;
+            assert!(
+                (got - expect).abs() / expect < 0.12,
+                "{}: avg value {got} vs {expect}",
+                cluster.name()
+            );
+        }
+    }
+
+    #[test]
+    fn cluster31_is_uniform() {
+        let w = TwitterWorkload::new(TwitterCluster::Cluster31, 1_000, 10, 0);
+        assert!(!w.dist.is_skewed());
+        let w = TwitterWorkload::new(TwitterCluster::Cluster19, 1_000, 10, 0);
+        assert!(w.dist.is_skewed());
+    }
+}

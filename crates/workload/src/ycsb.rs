@@ -1,0 +1,246 @@
+//! YCSB core workloads and the paper's custom operation mixes.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::zipf::{rng_for, KeyDist};
+use crate::Workload;
+
+/// One KV operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Read the value of `key`.
+    Get {
+        /// Target key.
+        key: u64,
+    },
+    /// Write `value_len` bytes to `key`.
+    Put {
+        /// Target key.
+        key: u64,
+        /// Payload length in bytes.
+        value_len: usize,
+    },
+    /// Read up to `count` items starting at `key`.
+    Scan {
+        /// Range start key.
+        key: u64,
+        /// Number of items requested.
+        count: usize,
+    },
+    /// Remove `key`.
+    Delete {
+        /// Target key.
+        key: u64,
+    },
+}
+
+impl Op {
+    /// The key this operation targets.
+    pub fn key(&self) -> u64 {
+        match *self {
+            Op::Get { key }
+            | Op::Put { key, .. }
+            | Op::Scan { key, .. }
+            | Op::Delete { key } => key,
+        }
+    }
+
+    /// Whether this is a write.
+    pub fn is_put(&self) -> bool {
+        matches!(self, Op::Put { .. })
+    }
+}
+
+/// An operation mix: fractions of put/get/scan/delete (must sum to 1).
+#[derive(Clone, Copy, Debug)]
+pub struct Mix {
+    /// Fraction of put operations.
+    pub put: f64,
+    /// Fraction of get operations.
+    pub get: f64,
+    /// Fraction of scan operations.
+    pub scan: f64,
+    /// Fraction of delete operations.
+    pub delete: f64,
+}
+
+impl Mix {
+    /// YCSB-A: 50% put, 50% get.
+    pub const A: Mix = Mix { put: 0.5, get: 0.5, scan: 0.0, delete: 0.0 };
+    /// YCSB-B: 5% put, 95% get.
+    pub const B: Mix = Mix { put: 0.05, get: 0.95, scan: 0.0, delete: 0.0 };
+    /// YCSB-C: 100% get.
+    pub const C: Mix = Mix { put: 0.0, get: 1.0, scan: 0.0, delete: 0.0 };
+    /// YCSB-E: 5% put, 95% scan.
+    pub const E: Mix = Mix { put: 0.05, get: 0.0, scan: 0.95, delete: 0.0 };
+    /// The paper's custom 100%-put mix.
+    pub const PUT_ONLY: Mix = Mix { put: 1.0, get: 0.0, scan: 0.0, delete: 0.0 };
+    /// Scan-only (Figure 8a).
+    pub const SCAN_ONLY: Mix = Mix { put: 0.0, get: 0.0, scan: 1.0, delete: 0.0 };
+    /// A churn mix exercising the full API including deletes.
+    pub const CHURN: Mix = Mix { put: 0.3, get: 0.5, scan: 0.0, delete: 0.2 };
+
+    /// Validates that the fractions sum to 1.
+    pub fn check(&self) {
+        let s = self.put + self.get + self.scan + self.delete;
+        assert!((s - 1.0).abs() < 1e-9, "mix must sum to 1, got {s}");
+    }
+}
+
+/// A YCSB-style workload generator.
+#[derive(Clone, Debug)]
+pub struct YcsbWorkload {
+    mix: Mix,
+    dist: KeyDist,
+    value_len: usize,
+    avg_scan_len: usize,
+    rng: SmallRng,
+}
+
+impl YcsbWorkload {
+    /// Creates a generator.
+    ///
+    /// * `mix` — operation mix (see the [`Mix`] constants);
+    /// * `dist` — key distribution;
+    /// * `value_len` — item size (the paper sweeps 8 B – 1 KB);
+    /// * `avg_scan_len` — mean scan length (the paper uses 50);
+    /// * `seed`/`stream` — deterministic RNG stream selection.
+    pub fn new(
+        mix: Mix,
+        dist: KeyDist,
+        value_len: usize,
+        avg_scan_len: usize,
+        seed: u64,
+        stream: u64,
+    ) -> Self {
+        mix.check();
+        YcsbWorkload {
+            mix,
+            dist,
+            value_len,
+            avg_scan_len,
+            rng: rng_for(seed, stream),
+        }
+    }
+
+    /// The key distribution in use.
+    pub fn dist(&self) -> &KeyDist {
+        &self.dist
+    }
+
+    /// The configured item size.
+    pub fn value_len(&self) -> usize {
+        self.value_len
+    }
+}
+
+impl Workload for YcsbWorkload {
+    fn next_op(&mut self) -> Op {
+        let key = self.dist.sample(&mut self.rng);
+        let r: f64 = self.rng.gen();
+        if r < self.mix.put {
+            Op::Put {
+                key,
+                value_len: self.value_len,
+            }
+        } else if r < self.mix.put + self.mix.get {
+            Op::Get { key }
+        } else if r < self.mix.put + self.mix.get + self.mix.scan {
+            // Uniform in [1, 2·avg] keeps the requested mean.
+            let count = self.rng.gen_range(1..=self.avg_scan_len * 2);
+            Op::Scan { key, count }
+        } else {
+            Op::Delete { key }
+        }
+    }
+
+    fn keyspace(&self) -> u64 {
+        self.dist.n()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fractions(mix: Mix, n: usize) -> (f64, f64, f64) {
+        let mut w = YcsbWorkload::new(mix, KeyDist::uniform(1000), 64, 50, 1, 0);
+        let (mut p, mut g, mut s) = (0, 0, 0);
+        for _ in 0..n {
+            match w.next_op() {
+                Op::Put { .. } => p += 1,
+                Op::Get { .. } => g += 1,
+                Op::Scan { .. } => s += 1,
+                Op::Delete { .. } => {}
+            }
+        }
+        (
+            p as f64 / n as f64,
+            g as f64 / n as f64,
+            s as f64 / n as f64,
+        )
+    }
+
+    #[test]
+    fn mixes_match_requested_ratios() {
+        let (p, g, s) = fractions(Mix::A, 50_000);
+        assert!((p - 0.5).abs() < 0.02 && (g - 0.5).abs() < 0.02 && s == 0.0);
+        let (p, g, _) = fractions(Mix::B, 50_000);
+        assert!((p - 0.05).abs() < 0.01 && (g - 0.95).abs() < 0.01);
+        let (p, g, s) = fractions(Mix::E, 50_000);
+        assert!((p - 0.05).abs() < 0.01 && g == 0.0 && (s - 0.95).abs() < 0.01);
+        let (p, _, _) = fractions(Mix::PUT_ONLY, 1_000);
+        assert_eq!(p, 1.0);
+    }
+
+    #[test]
+    fn scan_lengths_average_out() {
+        let mut w = YcsbWorkload::new(Mix::SCAN_ONLY, KeyDist::uniform(100), 8, 50, 2, 0);
+        let mut total = 0usize;
+        let n = 20_000;
+        for _ in 0..n {
+            if let Op::Scan { count, .. } = w.next_op() {
+                assert!((1..=100).contains(&count));
+                total += count;
+            } else {
+                panic!("non-scan op");
+            }
+        }
+        let avg = total as f64 / n as f64;
+        assert!((avg - 50.5).abs() < 1.0, "avg scan len {avg}");
+    }
+
+    #[test]
+    fn keys_within_keyspace() {
+        let mut w = YcsbWorkload::new(Mix::A, KeyDist::zipf(500, 0.99), 8, 50, 3, 1);
+        for _ in 0..10_000 {
+            assert!(w.next_op().key() < 500);
+        }
+        assert_eq!(w.keyspace(), 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "mix must sum to 1")]
+    fn bad_mix_rejected() {
+        let bad = Mix { put: 0.5, get: 0.0, scan: 0.0, delete: 0.0 };
+        YcsbWorkload::new(bad, KeyDist::uniform(10), 8, 50, 0, 0);
+    }
+
+    #[test]
+    fn op_accessors() {
+        assert_eq!(Op::Get { key: 3 }.key(), 3);
+        assert!(Op::Put { key: 1, value_len: 8 }.is_put());
+        assert!(!Op::Scan { key: 2, count: 5 }.is_put());
+        assert_eq!(Op::Delete { key: 9 }.key(), 9);
+    }
+
+    #[test]
+    fn churn_mix_produces_deletes() {
+        let mut w = YcsbWorkload::new(Mix::CHURN, KeyDist::uniform(100), 8, 10, 4, 0);
+        let dels = (0..10_000)
+            .filter(|_| matches!(w.next_op(), Op::Delete { .. }))
+            .count();
+        assert!((1_800..2_200).contains(&dels), "deletes: {dels}");
+    }
+}

@@ -1,0 +1,60 @@
+//! Quickstart: run μTPS-T against BaseKV on a skewed YCSB-A workload.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a scaled-down server (8 workers, 200k keys), drives it with
+//! closed-loop clients over the simulated 200 Gb/s fabric, and prints the
+//! headline comparison: the thread-per-stage μTPS against the same KVS with
+//! a run-to-completion thread architecture.
+
+use utps::prelude::*;
+use utps::sim::time::MILLIS;
+
+fn main() {
+    let cfg = RunConfig {
+        index: IndexKind::Tree,
+        keys: 200_000,
+        workers: 8,
+        n_cr: 3,
+        clients: 24,
+        pipeline: 8,
+        warmup: 2 * MILLIS,
+        duration: 3 * MILLIS,
+        hot_capacity: 5_000,
+        sample_every: 2,
+        workload: WorkloadSpec::Ycsb {
+            mix: Mix::A,
+            theta: 0.99,
+            value_len: 64,
+            scan_len: 50,
+        },
+        ..RunConfig::default()
+    };
+
+    println!("populating 200k keys and running 3 simulated milliseconds each...\n");
+    for system in [SystemKind::Utps, SystemKind::BaseKv, SystemKind::ErpcKv] {
+        let r = run(system, &cfg);
+        println!(
+            "{:>8}: {:6.2} Mops/s   P50 {:5.1} us   P99 {:5.1} us   LLC miss {:4.1}%",
+            system.name(),
+            r.mops,
+            r.p50_ns as f64 / 1000.0,
+            r.p99_ns as f64 / 1000.0,
+            r.llc_miss_all * 100.0,
+        );
+        if system == SystemKind::Utps {
+            println!(
+                "          CR layer served {:.0}% of requests locally (hot cache), "
+                , r.cr_local_frac * 100.0
+            );
+            println!(
+                "          per-layer LLC miss: CR {:.1}% vs MR {:.1}% — the paper's split",
+                r.llc_miss_cr * 100.0,
+                r.llc_miss_mr * 100.0
+            );
+        }
+    }
+    println!("\nIncrease keys/workers/duration for paper-scale runs (see crates/bench).");
+}

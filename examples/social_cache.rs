@@ -1,0 +1,66 @@
+//! A social-network cache tier: replaying Twitter's production cluster
+//! characteristics (Table 1 of the paper) against μTPS.
+//!
+//! ```sh
+//! cargo run --release --example social_cache
+//! ```
+//!
+//! Cluster-12 is skewed and write-heavy (media metadata), Cluster-19 skewed
+//! and read-heavy (timelines), Cluster-31 uniform and write-dominant
+//! (counters). The example shows how the same μTPS server adapts its layer
+//! split to each: read-heavy skew pushes work into the cache-resident layer,
+//! uniform writes leave it mostly memory-resident.
+
+use utps::prelude::*;
+use utps::sim::time::MILLIS;
+
+fn main() {
+    for cluster in TwitterCluster::all() {
+        let (put_ratio, avg_value, alpha) = cluster.params();
+        println!(
+            "\n=== {} (puts {:.0}%, avg value {}B, zipf alpha {:.2}) ===",
+            cluster.name(),
+            put_ratio * 100.0,
+            avg_value,
+            alpha
+        );
+        // Probe two layer splits and keep the better one — what the
+        // auto-tuner would do online.
+        let base = RunConfig {
+            index: IndexKind::Tree,
+            keys: 300_000,
+            workers: 8,
+            clients: 24,
+            pipeline: 8,
+            warmup: 2 * MILLIS,
+            duration: 2 * MILLIS,
+            hot_capacity: 5_000,
+            sample_every: 2,
+            cache_enabled: alpha > 0.0,
+            workload: WorkloadSpec::Twitter { cluster },
+            ..RunConfig::default()
+        };
+        let mut best: Option<RunResult> = None;
+        for n_cr in [2usize, 3, 4] {
+            let r = run_utps(&RunConfig { n_cr, ..base.clone() });
+            println!(
+                "  split {}CR/{}MR: {:5.2} Mops  (CR-local {:4.1}%)",
+                n_cr,
+                base.workers - n_cr,
+                r.mops,
+                r.cr_local_frac * 100.0
+            );
+            if best.as_ref().map(|b| r.mops > b.mops).unwrap_or(true) {
+                best = Some(r);
+            }
+        }
+        let best = best.unwrap();
+        let baseline = run(SystemKind::BaseKv, &base);
+        println!(
+            "  best uTPS {:5.2} Mops vs run-to-completion {:5.2} Mops ({:+.1}%)",
+            best.mops,
+            baseline.mops,
+            (best.mops / baseline.mops - 1.0) * 100.0
+        );
+    }
+}

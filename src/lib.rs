@@ -1,0 +1,63 @@
+//! μTPS — a thread-per-stage architecture for in-memory key-value stores.
+//!
+//! This workspace reproduces *"Rearchitecting the Thread Model of In-Memory
+//! Key-Value Stores with μTPS"* (SOSP '25) as a Rust library, running the
+//! complete system — two KVSs (μTPS-H / μTPS-T), four baselines, and every
+//! experiment of the paper's evaluation — on a deterministic hardware
+//! simulation (caches with CAT/DDIO, CAS-storm and DRAM-bandwidth
+//! contention, a 200 Gb/s RDMA fabric).
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`sim`] | discrete-event machine: cores, cache hierarchy, NIC |
+//! | [`collections`] | sketches, top-k, SPSC rings, epochs, histograms |
+//! | [`index`] | concurrent cuckoo hash + OLC B+-tree over simulated memory |
+//! | [`core`] | the μTPS server, CR-MR queue, reconfigurable RPC, auto-tuner |
+//! | [`baselines`] | BaseKV (RTC), eRPCKV (share-nothing), RaceHash, Sherman |
+//! | [`workload`] | YCSB, ETC, Twitter-cluster and dynamic generators |
+//!
+//! # Examples
+//!
+//! ```
+//! use utps::prelude::*;
+//!
+//! // A small μTPS-T run: 10k keys, YCSB-C, a few milliseconds simulated.
+//! let cfg = RunConfig {
+//!     keys: 10_000,
+//!     workers: 4,
+//!     n_cr: 2,
+//!     clients: 8,
+//!     warmup: 500 * utps::sim::time::MICROS,
+//!     duration: 1_000 * utps::sim::time::MICROS,
+//!     machine: MachineConfig::tiny(),
+//!     workload: WorkloadSpec::Ycsb {
+//!         mix: Mix::C,
+//!         theta: 0.99,
+//!         value_len: 16,
+//!         scan_len: 50,
+//!     },
+//!     ..RunConfig::default()
+//! };
+//! let result = run_utps(&cfg);
+//! assert!(result.completed > 0);
+//! ```
+
+pub use utps_baselines as baselines;
+pub use utps_collections as collections;
+pub use utps_core as core;
+pub use utps_index as index;
+pub use utps_sim as sim;
+pub use utps_workload as workload;
+
+/// The most common imports for driving experiments.
+pub mod prelude {
+    pub use utps_baselines::run;
+    pub use utps_core::experiment::{run_utps, RunConfig, RunResult, SystemKind, WorkloadSpec};
+    pub use utps_core::tuner::{TunerMode, TunerParams};
+    pub use utps_core::KvStore;
+    pub use utps_index::IndexKind;
+    pub use utps_sim::config::MachineConfig;
+    pub use utps_workload::{Mix, TwitterCluster};
+}
