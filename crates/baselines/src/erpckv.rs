@@ -187,8 +187,9 @@ pub fn run_erpckv(cfg: &RunConfig) -> RunResult {
     // 15 MB per worker at the configured slot size.
     let slots = (ERPC_WORKER_BYTES / cfg.slot_size).next_power_of_two() / 2;
     let rings = (0..cfg.workers)
-        .map(|_| {
-            let mut r = RecvRing::new(slots.max(64), cfg.slot_size);
+        .map(|w| {
+            let base = utps_sim::vaddr::RECV_RING + w * utps_sim::vaddr::RECV_RING_STRIDE;
+            let mut r = RecvRing::new_at(slots.max(64), cfg.slot_size, base);
             r.parse_ns = 6; // eRPC's leaner per-message path
             r
         })

@@ -29,6 +29,10 @@ pub fn result_from_driver<W>(
     driver: impl Fn(&W) -> &DriverState,
 ) -> RunResult {
     let metrics = eng.machine().cache.metrics.clone();
+    let snapshot = eng
+        .machine()
+        .registry
+        .snapshot(utps_sim::time::SimTime(cfg.warmup + cfg.duration));
     let d = driver(&eng.world);
     let hist = d.merged_hist();
     let completed = d.completed();
@@ -52,6 +56,8 @@ pub fn result_from_driver<W>(
         tuner_events: Vec::new(),
         reconfigs: 0,
         not_found: d.clients.iter().map(|c| c.not_found).sum(),
+        stage_metrics: Some(snapshot),
+        tuner_probes: Vec::new(),
     }
 }
 

@@ -1,115 +1,81 @@
-//! Criterion micro-benchmarks for the core data structures (host-time, not
-//! simulated-time — these measure the library's own efficiency).
+//! Micro-benchmarks for the core data structures (host-time, not simulated
+//! time — these measure the library's own efficiency). Self-contained
+//! harness: median-of-runs ns/op printed as a table, no external deps.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use utps_collections::{CountMinSketch, HotSetTracker, LatencyHistogram, SortedCache, SpscRing, TopK};
+use std::hint::black_box;
+use std::time::Instant;
+
+use utps_bench::bench_loop;
+use utps_collections::{
+    CountMinSketch, HotSetTracker, LatencyHistogram, SortedCache, SpscRing, TopK,
+};
 use utps_index::BplusTree;
 use utps_workload::{KeyDist, Mix, Workload, YcsbWorkload};
 
-fn bench_spsc(c: &mut Criterion) {
-    let ring = SpscRing::new(1024);
-    c.bench_function("spsc_push_pop", |b| {
-        b.iter(|| {
-            ring.try_push(black_box(42u64)).unwrap();
-            black_box(ring.try_pop());
-        })
-    });
-    c.bench_function("spsc_batch8", |b| {
-        let mut batch = Vec::with_capacity(8);
-        let mut out = Vec::with_capacity(8);
-        b.iter(|| {
-            batch.clear();
-            batch.extend(0u64..8);
-            ring.push_batch(&mut batch);
-            out.clear();
-            ring.pop_batch(&mut out, 8);
-            black_box(&out);
-        })
-    });
-}
+fn main() {
+    let _ = Instant::now(); // keep the import obvious for future benches
 
-fn bench_sketch(c: &mut Criterion) {
+    let ring = SpscRing::new(1024);
+    bench_loop("spsc_push_pop", || {
+        ring.try_push(black_box(42u64)).unwrap();
+        black_box(ring.try_pop());
+    });
+    let mut batch = Vec::with_capacity(8);
+    let mut out = Vec::with_capacity(8);
+    bench_loop("spsc_batch8", || {
+        batch.clear();
+        batch.extend(0u64..8);
+        ring.push_batch(&mut batch);
+        out.clear();
+        ring.pop_batch(&mut out, 8);
+        black_box(&out);
+    });
+
     let mut sketch = CountMinSketch::new(4096, 4);
     let mut k = 0u64;
-    c.bench_function("cms_increment", |b| {
-        b.iter(|| {
-            k = k.wrapping_add(0x9e3779b97f4a7c15);
-            black_box(sketch.increment(k % 100_000));
-        })
+    bench_loop("cms_increment", || {
+        k = k.wrapping_add(0x9e3779b97f4a7c15);
+        sketch.increment(k % 100_000);
     });
-    c.bench_function("cms_estimate", |b| {
-        b.iter(|| {
-            k = k.wrapping_add(0x9e3779b97f4a7c15);
-            black_box(sketch.estimate(k % 100_000));
-        })
+    bench_loop("cms_estimate", || {
+        k = k.wrapping_add(0x9e3779b97f4a7c15);
+        black_box(sketch.estimate(k % 100_000));
     });
-}
 
-fn bench_topk_hotset(c: &mut Criterion) {
     let mut topk = TopK::new(1_000);
     let mut i = 0u64;
-    c.bench_function("topk_offer", |b| {
-        b.iter(|| {
-            i = i.wrapping_add(0x2545f4914f6cdd1d);
-            topk.offer(i % 10_000, (i % 1000) as u32);
-        })
+    bench_loop("topk_offer", || {
+        i = i.wrapping_add(0x2545f4914f6cdd1d);
+        topk.offer(i % 10_000, (i % 1000) as u32);
     });
     let mut tracker = HotSetTracker::new(4096, 4, 1_000);
-    c.bench_function("hotset_record", |b| {
-        b.iter(|| {
-            i = i.wrapping_add(0x2545f4914f6cdd1d);
-            tracker.record(i % 10_000);
-        })
+    bench_loop("hotset_record", || {
+        i = i.wrapping_add(0x2545f4914f6cdd1d);
+        tracker.record(i % 10_000);
     });
-}
 
-fn bench_sorted_cache(c: &mut Criterion) {
     let cache = SortedCache::build((0..10_000u64).map(|k| (k * 3, k)).collect());
-    let mut k = 0u64;
-    c.bench_function("sorted_cache_get_10k", |b| {
-        b.iter(|| {
-            k = k.wrapping_add(0x9e3779b97f4a7c15);
-            black_box(cache.get(k % 30_000));
-        })
+    bench_loop("sorted_cache_get_10k", || {
+        k = k.wrapping_add(0x9e3779b97f4a7c15);
+        black_box(cache.get(k % 30_000));
     });
-}
 
-fn bench_histogram(c: &mut Criterion) {
     let mut h = LatencyHistogram::new();
     let mut v = 1u64;
-    c.bench_function("hist_record", |b| {
-        b.iter(|| {
-            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
-            h.record(v % 10_000_000 + 1);
-        })
+    bench_loop("hist_record", || {
+        v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+        h.record(v % 10_000_000 + 1);
     });
-}
 
-fn bench_btree_native(c: &mut Criterion) {
-    let pairs: Vec<(u64, u32)> = (0..100_000u64).map(|k| (k, k as u32)).collect();
+    let pairs: Vec<(u64, u32)> = (0..100_000u64).map(|key| (key, key as u32)).collect();
     let tree = BplusTree::bulk_load(&pairs);
-    let mut k = 0u64;
-    c.bench_function("btree_get_native_100k", |b| {
-        b.iter(|| {
-            k = k.wrapping_add(0x9e3779b97f4a7c15);
-            black_box(tree.get_native(k % 100_000));
-        })
+    bench_loop("btree_get_native_100k", || {
+        k = k.wrapping_add(0x9e3779b97f4a7c15);
+        black_box(tree.get_native(k % 100_000));
+    });
+
+    let mut wl = YcsbWorkload::new(Mix::A, KeyDist::zipf(10_000_000, 0.99), 64, 50, 1, 0);
+    bench_loop("ycsb_zipf_next_op", || {
+        black_box(wl.next_op());
     });
 }
-
-fn bench_workloads(c: &mut Criterion) {
-    let mut wl = YcsbWorkload::new(Mix::A, KeyDist::zipf(10_000_000, 0.99), 64, 50, 1, 0);
-    c.bench_function("ycsb_zipf_next_op", |b| b.iter(|| black_box(wl.next_op())));
-}
-
-criterion_group!(
-    benches,
-    bench_spsc,
-    bench_sketch,
-    bench_topk_hotset,
-    bench_sorted_cache,
-    bench_histogram,
-    bench_btree_native,
-    bench_workloads
-);
-criterion_main!(benches);

@@ -9,7 +9,7 @@
 //! windows; this run compresses the same sequence (switch at 1/3 of the
 //! run, sub-millisecond windows) so it completes in seconds of host time.
 
-use utps_bench::{base_config, Cli, Scale};
+use utps_bench::{base_config, Cli, Scale, StatsSink};
 use utps_core::experiment::{run_utps, RunConfig, WorkloadSpec};
 use utps_core::tuner::{TunerMode, TunerParams};
 use utps_index::IndexKind;
@@ -44,6 +44,9 @@ fn main() {
         ..base_config(cli.scale)
     };
     let r = run_utps(&cfg);
+    let mut sink = StatsSink::new("fig14", cli.stats);
+    sink.record("utps/fig14", &r);
+    sink.finish();
     println!("== Figure 14: throughput over time (value size 512B -> 8B) ==");
     println!("workload switches at t={:.1}ms", (warmup + switch) as f64 / MILLIS as f64);
     println!("{:>10} {:>10}", "t (ms)", "Mops");

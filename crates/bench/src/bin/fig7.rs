@@ -4,7 +4,7 @@
 //! × item sizes × {μTPS, BaseKV, eRPCKV, passive (RaceHash/Sherman)}.
 //! μTPS is tuned per cell (probe phase standing in for the auto-tuner).
 
-use utps_bench::{base_config, print_table, ratio, run_system, Cli, Scale};
+use utps_bench::{base_config, print_table, ratio, run_system, Cli, Scale, StatsSink};
 use utps_core::experiment::{RunConfig, SystemKind, WorkloadSpec};
 use utps_index::IndexKind;
 use utps_workload::Mix;
@@ -21,6 +21,7 @@ const MIXES: [(&str, Mix, f64); 6] = [
 
 fn main() {
     let cli = Cli::parse();
+    let mut sink = StatsSink::new("fig7", cli.stats);
     let sizes: &[usize] = if cli.scale == Scale::Full {
         &[8, 64, 256, 1024]
     } else {
@@ -51,6 +52,7 @@ fn main() {
                     ..base_config(cli.scale)
                 };
                 let utps = run_system(SystemKind::Utps, &cfg);
+                sink.record(&format!("utps/{index_name}/{label}/{size}B"), &utps);
                 let base = run_system(SystemKind::BaseKv, &cfg);
                 let erpc = run_system(SystemKind::ErpcKv, &cfg);
                 let pass = run_system(passive, &cfg);
@@ -77,4 +79,5 @@ fn main() {
             cli.csv,
         );
     }
+    sink.finish();
 }

@@ -1,0 +1,57 @@
+//! `utps-stats` — one observability-focused μTPS run, dumped as JSON.
+//!
+//! Runs a fig7-style configuration with the online auto-tuner armed and the
+//! Figure-14 dynamic workload (value size 512 B → 8 B mid-run) so the run
+//! exercises every instrumented stage: CR hit/miss/forward counters and
+//! hit-path latency, MR batch sizes / interleave depth / traversal latency,
+//! CR-MR lane occupancy high-water marks, receive-ring poll efficiency, and
+//! at least one complete tuner trisection trace.
+//!
+//! The stats document goes to stdout and, with `--stats`, to
+//! `bench_results/utps_stats_stats.json`.
+
+use utps_bench::{base_config, Cli, Scale, StatsSink};
+use utps_core::experiment::{run_utps, stats_json, RunConfig, WorkloadSpec};
+use utps_core::tuner::{TunerMode, TunerParams};
+use utps_index::IndexKind;
+use utps_sim::time::{MICROS, MILLIS};
+
+fn main() {
+    let cli = Cli::parse();
+    let (duration, switch, window) = match cli.scale {
+        Scale::Quick => (24 * MILLIS, 8 * MILLIS, 400 * MICROS),
+        Scale::Full => (60 * MILLIS, 20 * MILLIS, 800 * MICROS),
+    };
+    let warmup = 2 * MILLIS;
+    let cfg = RunConfig {
+        index: IndexKind::Tree,
+        keys: 500_000,
+        warmup,
+        duration,
+        tuner: TunerMode::Auto,
+        tuner_params: TunerParams {
+            window,
+            settle: window / 2,
+            trigger: 0.25,
+            trigger_windows: 2,
+            cache_step: 5_000,
+            cache_max: 10_000,
+        },
+        workload: WorkloadSpec::Fig14 {
+            switch_ns: (warmup + switch) / 1_000,
+        },
+        ..base_config(cli.scale)
+    };
+    let r = run_utps(&cfg);
+    let json = stats_json(&r);
+    println!("{json}");
+    eprintln!(
+        "[utps-stats] {:.2} Mops, {} tuner probes, final n_cr={}",
+        r.mops,
+        r.tuner_probes.len(),
+        r.final_n_cr
+    );
+    let mut sink = StatsSink::new("utps_stats", cli.stats);
+    sink.record("utps/stats-run", &r);
+    sink.finish();
+}

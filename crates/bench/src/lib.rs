@@ -28,6 +28,8 @@ pub struct Cli {
     pub scale: Scale,
     /// Also print CSV lines (prefixed `csv,`).
     pub csv: bool,
+    /// Write stage-metrics JSON sidecars into `bench_results/`.
+    pub stats: bool,
     /// Figure-specific free arguments (e.g. `--part a`).
     pub args: Vec<String>,
 }
@@ -37,16 +39,18 @@ impl Cli {
     pub fn parse() -> Cli {
         let mut scale = Scale::Quick;
         let mut csv = false;
+        let mut stats = false;
         let mut args = Vec::new();
         for a in std::env::args().skip(1) {
             match a.as_str() {
                 "--quick" => scale = Scale::Quick,
                 "--full" => scale = Scale::Full,
                 "--csv" => csv = true,
+                "--stats" => stats = true,
                 _ => args.push(a),
             }
         }
-        Cli { scale, csv, args }
+        Cli { scale, csv, stats, args }
     }
 
     /// Value following `--part`, if present.
@@ -145,6 +149,67 @@ pub fn run_system(system: SystemKind, cfg: &RunConfig) -> RunResult {
     }
 }
 
+/// Collects machine-readable stats sidecars for a figure binary.
+///
+/// Each recorded run is rendered with [`utps_core::experiment::stats_json`];
+/// [`StatsSink::finish`] writes one JSON document mapping labels to run
+/// stats into `bench_results/<name>_stats.json`. Disabled sinks (no
+/// `--stats` flag) are free: both calls are no-ops.
+pub struct StatsSink {
+    name: &'static str,
+    enabled: bool,
+    entries: Vec<(String, String)>,
+}
+
+impl StatsSink {
+    /// Creates a sink for figure `name`, active only when `enabled`.
+    pub fn new(name: &'static str, enabled: bool) -> Self {
+        StatsSink {
+            name,
+            enabled,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Records one labeled run.
+    pub fn record(&mut self, label: &str, r: &RunResult) {
+        if self.enabled {
+            self.entries
+                .push((label.to_string(), utps_core::experiment::stats_json(r)));
+        }
+    }
+
+    /// Writes the sidecar; returns the path written (None when disabled or
+    /// empty).
+    pub fn finish(&self) -> Option<std::path::PathBuf> {
+        if !self.enabled || self.entries.is_empty() {
+            return None;
+        }
+        let dir = std::path::Path::new("bench_results");
+        if std::fs::create_dir_all(dir).is_err() {
+            return None;
+        }
+        let mut s = String::from("{");
+        for (i, (label, json)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\"{}\":{}",
+                utps_sim::metrics::json_escape(label),
+                json
+            ));
+        }
+        s.push('}');
+        let path = dir.join(format!("{}_stats.json", self.name));
+        if std::fs::write(&path, s).is_err() {
+            return None;
+        }
+        eprintln!("[{}] wrote {}", self.name, path.display());
+        Some(path)
+    }
+}
+
 /// Renders an aligned text table: header + rows of (label, values).
 pub fn print_table(title: &str, columns: &[&str], rows: &[(String, Vec<f64>)], csv: bool) {
     println!("\n== {title} ==");
@@ -182,6 +247,35 @@ pub fn print_table(title: &str, columns: &[&str], rows: &[(String, Vec<f64>)], c
     }
 }
 
+/// Times `f` and prints median ns/op: warms up, then takes 7 samples of an
+/// iteration count sized so each sample runs ≥ ~2 ms of host time.
+pub fn bench_loop<F: FnMut()>(name: &str, mut f: F) {
+    use std::time::Instant;
+    let mut iters: u64 = 16;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = start.elapsed();
+        if elapsed.as_micros() >= 2_000 || iters >= 1 << 28 {
+            let mut samples: Vec<f64> = (0..7)
+                .map(|_| {
+                    let s = Instant::now();
+                    for _ in 0..iters {
+                        f();
+                    }
+                    s.elapsed().as_nanos() as f64 / iters as f64
+                })
+                .collect();
+            samples.sort_by(|a, b| a.total_cmp(b));
+            println!("{name:<24} {:>10.1} ns/op  ({iters} iters/sample)", samples[3]);
+            return;
+        }
+        iters *= 4;
+    }
+}
+
 /// Convenience: throughput ratio `a / b` (NaN when `b` is zero).
 pub fn ratio(a: f64, b: f64) -> f64 {
     if b > 0.0 {
@@ -200,12 +294,14 @@ mod tests {
         let cli = Cli {
             scale: Scale::Quick,
             csv: false,
+            stats: false,
             args: vec!["--part".into(), "b".into()],
         };
         assert_eq!(cli.part(), Some("b"));
         let none = Cli {
             scale: Scale::Full,
             csv: true,
+            stats: true,
             args: vec![],
         };
         assert_eq!(none.part(), None);

@@ -40,6 +40,10 @@ pub struct MpmcQueue<T> {
     slots: Box<[Slot<T>]>,
     enqueue: CachePadded<AtomicUsize>,
     dequeue: CachePadded<AtomicUsize>,
+    /// When nonzero, the `*_addr` accessors report addresses inside a fixed
+    /// virtual block at this base (enqueue `+0`, dequeue `+64`, slots from
+    /// `+128`) so cache charging is reproducible across runs.
+    virt_base: usize,
 }
 
 // SAFETY: slot hand-off is ordered by the acquire/release pairs on each
@@ -51,14 +55,18 @@ unsafe impl<T: Send> Send for MpmcQueue<T> {}
 unsafe impl<T: Send> Sync for MpmcQueue<T> {}
 
 impl<T> MpmcQueue<T> {
-    /// Creates a queue with capacity `cap` (rounded up to a power of two).
+    /// Creates a queue with capacity `cap` (rounded up to a power of two,
+    /// minimum 2: with a single slot the "free at position `p`" sequence
+    /// `p` collides with the "published at position `p - 1`" sequence
+    /// `p - 1 + 1`, so a producer would silently overwrite an unconsumed
+    /// element instead of reporting full).
     ///
     /// # Panics
     ///
     /// Panics if `cap` is zero.
     pub fn new(cap: usize) -> Self {
         assert!(cap > 0, "capacity must be nonzero");
-        let cap = cap.next_power_of_two();
+        let cap = cap.next_power_of_two().max(2);
         let slots = (0..cap)
             .map(|i| Slot {
                 seq: AtomicUsize::new(i),
@@ -71,7 +79,16 @@ impl<T> MpmcQueue<T> {
             slots,
             enqueue: CachePadded(AtomicUsize::new(0)),
             dequeue: CachePadded(AtomicUsize::new(0)),
+            virt_base: 0,
         }
+    }
+
+    /// Like [`MpmcQueue::new`], with the `*_addr` accessors reporting
+    /// addresses inside a fixed virtual block at `virt_base`.
+    pub fn new_at(cap: usize, virt_base: usize) -> Self {
+        let mut q = MpmcQueue::new(cap);
+        q.virt_base = virt_base;
+        q
     }
 
     /// Maximum buffered elements.
@@ -94,12 +111,29 @@ impl<T> MpmcQueue<T> {
     /// Address of the shared enqueue cursor (the line every producer
     /// contends on — used for cache charging).
     pub fn enqueue_addr(&self) -> usize {
-        &self.enqueue.0 as *const AtomicUsize as usize
+        if self.virt_base != 0 {
+            self.virt_base
+        } else {
+            &self.enqueue.0 as *const AtomicUsize as usize
+        }
     }
 
     /// Address of the shared dequeue cursor.
     pub fn dequeue_addr(&self) -> usize {
-        &self.dequeue.0 as *const AtomicUsize as usize
+        if self.virt_base != 0 {
+            self.virt_base + 64
+        } else {
+            &self.dequeue.0 as *const AtomicUsize as usize
+        }
+    }
+
+    /// Address of the slot storage for position `i` (for cache charging).
+    pub fn slot_addr(&self, i: usize) -> usize {
+        if self.virt_base != 0 {
+            self.virt_base + 128 + (i & self.mask) * core::mem::size_of::<Slot<T>>()
+        } else {
+            &self.slots[i & self.mask] as *const Slot<T> as usize
+        }
     }
 
     /// Attempts to enqueue; returns the value back if the queue is full.
@@ -199,6 +233,20 @@ mod tests {
             assert_eq!(q.try_pop(), Some(round));
             assert_eq!(q.try_pop(), Some(round + 1000));
         }
+    }
+
+    #[test]
+    fn capacity_one_rounds_up_to_two() {
+        // A 1-slot Vyukov queue cannot tell full from free; the constructor
+        // must widen it so no push ever overwrites an unconsumed element.
+        let q = MpmcQueue::new(1);
+        assert_eq!(q.capacity(), 2);
+        q.try_push(10).unwrap();
+        q.try_push(11).unwrap();
+        assert_eq!(q.try_push(12), Err(12));
+        assert_eq!(q.try_pop(), Some(10));
+        assert_eq!(q.try_pop(), Some(11));
+        assert_eq!(q.try_pop(), None);
     }
 
     #[test]

@@ -21,6 +21,10 @@
 #[derive(Clone, Debug, Default)]
 pub struct SortedCache<V> {
     entries: Vec<(u64, V)>,
+    /// When nonzero, address accessors report `base + i * entry_size`
+    /// instead of real heap addresses, so simulated cache charging is
+    /// reproducible across runs.
+    virt_base: usize,
 }
 
 impl<V> SortedCache<V> {
@@ -36,13 +40,29 @@ impl<V> SortedCache<V> {
                 _ => entries.push((k, v)),
             }
         }
-        SortedCache { entries }
+        SortedCache { entries, virt_base: 0 }
+    }
+
+    /// Places the entry array in a fixed virtual region for the address
+    /// accessors ([`SortedCache::probe_with`], [`SortedCache::storage_span`],
+    /// [`SortedCache::entry_addr`]).
+    pub fn set_virt_base(&mut self, virt_base: usize) {
+        self.virt_base = virt_base;
+    }
+
+    fn addr_of_index(&self, i: usize) -> usize {
+        if self.virt_base != 0 {
+            self.virt_base + i * core::mem::size_of::<(u64, V)>()
+        } else {
+            &self.entries[i] as *const (u64, V) as usize
+        }
     }
 
     /// An empty cache.
     pub fn empty() -> Self {
         SortedCache {
             entries: Vec::new(),
+            virt_base: 0,
         }
     }
 
@@ -62,7 +82,7 @@ impl<V> SortedCache<V> {
         let (mut lo, mut hi) = (0usize, self.entries.len());
         while lo < hi {
             let mid = lo + (hi - lo) / 2;
-            visit(&self.entries[mid] as *const (u64, V) as usize);
+            visit(self.addr_of_index(mid));
             match self.entries[mid].0.cmp(&key) {
                 core::cmp::Ordering::Equal => return Some(&self.entries[mid].1),
                 core::cmp::Ordering::Less => lo = mid + 1,
@@ -106,10 +126,12 @@ impl<V> SortedCache<V> {
     /// The base address and byte length of the entry array (for charging the
     /// simulated cache on probes).
     pub fn storage_span(&self) -> (usize, usize) {
-        (
-            self.entries.as_ptr() as usize,
-            self.entries.len() * core::mem::size_of::<(u64, V)>(),
-        )
+        let base = if self.virt_base != 0 {
+            self.virt_base
+        } else {
+            self.entries.as_ptr() as usize
+        };
+        (base, self.entries.len() * core::mem::size_of::<(u64, V)>())
     }
 
     /// Address of the entry that a probe sequence for `key` ends at.
@@ -117,7 +139,7 @@ impl<V> SortedCache<V> {
         self.entries
             .binary_search_by_key(&key, |&(k, _)| k)
             .ok()
-            .map(|i| &self.entries[i] as *const (u64, V) as usize)
+            .map(|i| self.addr_of_index(i))
     }
 
     /// All keys, ascending (for tests and refresh diffing).

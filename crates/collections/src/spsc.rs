@@ -39,6 +39,11 @@ pub struct SpscRing<T> {
     slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
     head: CachePadded<AtomicUsize>,
     tail: CachePadded<AtomicUsize>,
+    /// When nonzero, the `*_addr` accessors report addresses inside a fixed
+    /// virtual block at this base (head `+0`, tail `+64`, slots from `+128`)
+    /// instead of real heap addresses, so simulated cache charging is
+    /// reproducible across runs.
+    virt_base: usize,
 }
 
 // SAFETY: the ring hands out values by moving them; slots are only read by
@@ -69,7 +74,16 @@ impl<T> SpscRing<T> {
             slots,
             head: CachePadded(AtomicUsize::new(0)),
             tail: CachePadded(AtomicUsize::new(0)),
+            virt_base: 0,
         }
+    }
+
+    /// Like [`SpscRing::new`], with the `*_addr` accessors reporting
+    /// addresses inside a fixed virtual block at `virt_base`.
+    pub fn new_at(cap: usize, virt_base: usize) -> Self {
+        let mut r = SpscRing::new(cap);
+        r.virt_base = virt_base;
+        r
     }
 
     /// Maximum number of buffered elements.
@@ -98,18 +112,31 @@ impl<T> SpscRing<T> {
     /// Address of the tail index word — the cache line a producer touches.
     /// Used by the simulator to charge inter-core traffic.
     pub fn tail_addr(&self) -> usize {
-        &self.tail.0 as *const AtomicUsize as usize
+        if self.virt_base != 0 {
+            self.virt_base + 64
+        } else {
+            &self.tail.0 as *const AtomicUsize as usize
+        }
     }
 
     /// Address of the head index word — the cache line a consumer touches.
     pub fn head_addr(&self) -> usize {
-        &self.head.0 as *const AtomicUsize as usize
+        if self.virt_base != 0 {
+            self.virt_base
+        } else {
+            &self.head.0 as *const AtomicUsize as usize
+        }
     }
 
     /// Address of the slot storage for element index `i` (for cache
     /// charging).
     pub fn slot_addr(&self, i: usize) -> usize {
-        self.slots[i & self.mask].get() as usize
+        if self.virt_base != 0 {
+            let stride = core::mem::size_of::<T>().max(1);
+            self.virt_base + 128 + (i & self.mask) * stride
+        } else {
+            self.slots[i & self.mask].get() as usize
+        }
     }
 
     /// Attempts to enqueue `value`; returns it back if the ring is full.

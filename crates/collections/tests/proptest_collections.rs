@@ -3,7 +3,7 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 use std::collections::VecDeque;
-use utps_collections::{CountMinSketch, LatencyHistogram, SortedCache, SpscRing, TopK};
+use utps_collections::{CountMinSketch, LatencyHistogram, MpmcQueue, SortedCache, SpscRing, TopK};
 
 proptest! {
     /// The SPSC ring is FIFO-equivalent to a bounded VecDeque under any
@@ -49,6 +49,105 @@ proptest! {
                 prop_assert_eq!(Some(*v), model.pop_front());
             }
         }
+    }
+
+    /// SPSC wraparound at the capacity boundary: fill to capacity, drain
+    /// part-way, refill — indices cross the ring's end repeatedly and FIFO
+    /// order must survive every crossing.
+    #[test]
+    fn ring_wraparound_at_capacity(cap in 1usize..24, rounds in vec((1usize..24, 1usize..24), 1..60)) {
+        let ring = SpscRing::new(cap);
+        let cap = ring.capacity(); // may round up internally
+        let mut model: VecDeque<u64> = VecDeque::new();
+        let mut next = 0u64;
+        // Start full so the very first pop/push pair straddles the boundary.
+        while ring.try_push(next).is_ok() {
+            model.push_back(next);
+            next += 1;
+        }
+        prop_assert_eq!(ring.len(), cap);
+        prop_assert!(ring.is_full());
+        prop_assert!(ring.try_push(u64::MAX).is_err(), "push into full ring");
+        for (pops, pushes) in rounds {
+            for _ in 0..pops {
+                prop_assert_eq!(ring.try_pop(), model.pop_front());
+            }
+            for _ in 0..pushes {
+                let ok = ring.try_push(next).is_ok();
+                prop_assert_eq!(ok, model.len() < cap, "acceptance at boundary");
+                if ok {
+                    model.push_back(next);
+                }
+                next += 1;
+            }
+            prop_assert_eq!(ring.len(), model.len());
+        }
+        while let Some(v) = ring.try_pop() {
+            prop_assert_eq!(Some(v), model.pop_front());
+        }
+        prop_assert!(model.is_empty());
+    }
+
+    /// Batch push/pop across the wraparound point: batches larger than the
+    /// remaining space must be split exactly at capacity, never truncated
+    /// silently or duplicated.
+    #[test]
+    fn ring_batch_wraparound(cap in 2usize..16, chunks in vec(vec(any::<u16>(), 1..20), 1..40)) {
+        let ring = SpscRing::new(cap);
+        let cap = ring.capacity();
+        let mut model: VecDeque<u16> = VecDeque::new();
+        let mut out = Vec::new();
+        for chunk in chunks {
+            let space = cap - model.len();
+            let mut batch = chunk.clone();
+            let n = ring.push_batch(&mut batch);
+            prop_assert_eq!(n, chunk.len().min(space), "split point at capacity");
+            prop_assert_eq!(batch.len(), chunk.len() - n, "overflow stays with producer");
+            for v in chunk.into_iter().take(n) {
+                model.push_back(v);
+            }
+            out.clear();
+            let popped = ring.pop_batch(&mut out, cap / 2 + 1);
+            prop_assert_eq!(popped, out.len());
+            for v in &out {
+                prop_assert_eq!(Some(*v), model.pop_front());
+            }
+        }
+    }
+
+    /// MPMC queue wraparound at capacity: same boundary discipline as the
+    /// SPSC ring (single-threaded here; the simulator charges contention).
+    #[test]
+    fn mpmc_wraparound_at_capacity(cap in 1usize..24, rounds in vec((1usize..24, 1usize..24), 1..60)) {
+        let q = MpmcQueue::new(cap);
+        let cap = q.capacity();
+        let mut model: VecDeque<u32> = VecDeque::new();
+        let mut next = 0u32;
+        while q.try_push(next).is_ok() {
+            model.push_back(next);
+            next += 1;
+        }
+        prop_assert_eq!(q.len(), cap);
+        prop_assert!(q.try_push(u32::MAX).is_err(), "push into full queue");
+        for (pops, pushes) in rounds {
+            for _ in 0..pops {
+                prop_assert_eq!(q.try_pop(), model.pop_front());
+            }
+            for _ in 0..pushes {
+                let ok = q.try_push(next).is_ok();
+                prop_assert_eq!(ok, model.len() < cap);
+                if ok {
+                    model.push_back(next);
+                }
+                next += 1;
+            }
+            prop_assert_eq!(q.len(), model.len());
+            prop_assert_eq!(q.is_empty(), model.is_empty());
+        }
+        while let Some(v) = q.try_pop() {
+            prop_assert_eq!(Some(v), model.pop_front());
+        }
+        prop_assert!(model.is_empty());
     }
 
     /// Count-min never underestimates, for arbitrary key streams.

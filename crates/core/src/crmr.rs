@@ -10,7 +10,7 @@
 //! piggybacked completion.
 
 use utps_collections::{MpmcQueue, SpscRing};
-use utps_sim::Ctx;
+use utps_sim::{vaddr, Ctx};
 
 use crate::msg::OpKind;
 
@@ -54,12 +54,46 @@ pub struct Desc {
 /// Wire size of a descriptor (§3.4).
 pub const DESC_BYTES: usize = 16;
 
+impl Desc {
+    /// Packs the descriptor into its 16-byte wire form: key (8 B,
+    /// little-endian), receive-slot sequence (4 B — the `buf` field), and a
+    /// type+size word (2-bit [`OpKind`] code in the top bits, 30-bit size).
+    ///
+    /// The wire form narrows `seq` to 32 bits and `size` to 30 bits, exactly
+    /// as the paper's descriptor does; [`Desc::decode`] round-trips any
+    /// descriptor within those bounds (receive rings are far smaller than
+    /// 2^32 slots, so in-flight seqs are distinguishable mod 2^32).
+    pub fn encode(&self) -> [u8; DESC_BYTES] {
+        let mut out = [0u8; DESC_BYTES];
+        out[0..8].copy_from_slice(&self.key.to_le_bytes());
+        out[8..12].copy_from_slice(&(self.seq as u32).to_le_bytes());
+        let ts = ((self.kind.code() as u32) << 30) | (self.size & 0x3fff_ffff);
+        out[12..16].copy_from_slice(&ts.to_le_bytes());
+        out
+    }
+
+    /// Unpacks a descriptor from its wire form (inverse of [`Desc::encode`]).
+    pub fn decode(wire: &[u8; DESC_BYTES]) -> Desc {
+        let key = u64::from_le_bytes(wire[0..8].try_into().unwrap());
+        let seq = u32::from_le_bytes(wire[8..12].try_into().unwrap()) as u64;
+        let ts = u32::from_le_bytes(wire[12..16].try_into().unwrap());
+        Desc {
+            key,
+            seq,
+            kind: OpKind::from_code((ts >> 30) as u8),
+            size: ts & 0x3fff_ffff,
+        }
+    }
+}
+
 /// One SPSC lane plus its completion counter.
 struct Lane {
     ring: SpscRing<Desc>,
     /// Batch sizes in flight, FIFO (consumer side bookkeeping).
     completed: u64,
     pushed: u64,
+    /// Virtual address charged for the completion counter word.
+    completed_addr: usize,
 }
 
 /// The all-to-all CR-MR queue over `workers` total worker threads.
@@ -92,8 +126,12 @@ impl CrMrQueue {
     /// Creates the queue with an explicit transport kind.
     pub fn with_kind(workers: usize, capacity: usize, kind: QueueKind) -> Self {
         let shared = (kind == QueueKind::SharedMpmc).then(|| SharedState {
-            req: MpmcQueue::new(capacity * workers),
-            comps: (0..workers).map(|_| MpmcQueue::new(capacity)).collect(),
+            req: MpmcQueue::new_at(capacity * workers, vaddr::SHARED_Q),
+            comps: (0..workers)
+                .map(|i| {
+                    MpmcQueue::new_at(capacity, vaddr::SHARED_Q + (i + 1) * vaddr::CRMR_LANE_STRIDE)
+                })
+                .collect(),
             pushed: vec![0; workers],
             completed: vec![0; workers],
         });
@@ -101,10 +139,16 @@ impl CrMrQueue {
             workers,
             kind,
             lanes: (0..workers * workers)
-                .map(|_| Lane {
-                    ring: SpscRing::new(capacity),
-                    completed: 0,
-                    pushed: 0,
+                .map(|i| {
+                    let base = vaddr::CRMR_LANES + i * vaddr::CRMR_LANE_STRIDE;
+                    Lane {
+                        ring: SpscRing::new_at(capacity, base),
+                        completed: 0,
+                        pushed: 0,
+                        // The completion word lives on its own line, clear of
+                        // the ring's slot area.
+                        completed_addr: base + vaddr::CRMR_LANE_STRIDE / 2,
+                    }
                 })
                 .collect(),
             shared,
@@ -126,6 +170,8 @@ impl CrMrQueue {
             Ok(()) => {
                 ctx.write(s.req.enqueue_addr() + 128, DESC_BYTES);
                 s.pushed[producer] += 1;
+                let occ = s.req.len() as u64;
+                ctx.machine().registry.gauge_max("crmr.shared_hwm", occ);
                 true
             }
             Err(_) => false,
@@ -213,6 +259,8 @@ impl CrMrQueue {
                     ctx.write(lane.ring.slot_addr(start as usize), DESC_BYTES * n);
                     ctx.atomic(lane.ring.tail_addr());
                     lane.pushed += n as u64;
+                    let occ = lane.ring.len() as u64;
+                    ctx.machine().registry.gauge_max("crmr.lane_hwm", occ);
                 }
                 n
             }
@@ -273,8 +321,7 @@ impl CrMrQueue {
         lane.completed += n;
         match kind {
             QueueKind::AllToAll => {
-                let addr = &lane.completed as *const u64 as usize;
-                ctx.write(addr, 8);
+                ctx.write(lane.completed_addr, 8);
             }
             QueueKind::Dlb => ctx.compute_ps(DLB_PORT_PS),
             QueueKind::SharedMpmc => unreachable!("use complete_shared"),
@@ -286,8 +333,7 @@ impl CrMrQueue {
         let lane = self.lane(producer, consumer);
         match self.kind {
             QueueKind::AllToAll => {
-                let addr = &lane.completed as *const u64 as usize;
-                ctx.read(addr, 8);
+                ctx.read(lane.completed_addr, 8);
             }
             QueueKind::Dlb => ctx.compute_ps(DLB_PORT_PS / 4),
             QueueKind::SharedMpmc => unreachable!("use pop_completion_shared"),
@@ -382,6 +428,30 @@ mod tests {
         eng.run_until(SimTime::from_millis(1));
         let r = out.borrow_mut().take().expect("did not run");
         (r, eng.world)
+    }
+
+    #[test]
+    fn desc_wire_roundtrip() {
+        let cases = [
+            Desc { key: 0, seq: 0, kind: OpKind::Get, size: 0 },
+            Desc { key: u64::MAX, seq: u32::MAX as u64, kind: OpKind::Put, size: 0x3fff_ffff },
+            Desc { key: 0xdead_beef_cafe_f00d, seq: 7, kind: OpKind::Scan, size: 1024 },
+            Desc { key: 42, seq: 99, kind: OpKind::Delete, size: 1 },
+        ];
+        for d in cases {
+            let wire = d.encode();
+            assert_eq!(Desc::decode(&wire), d);
+        }
+    }
+
+    #[test]
+    fn desc_wire_layout() {
+        let d = Desc { key: 0x0102_0304_0506_0708, seq: 0x0a0b_0c0d, kind: OpKind::Scan, size: 5 };
+        let wire = d.encode();
+        assert_eq!(&wire[0..8], &[0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01]);
+        assert_eq!(&wire[8..12], &[0x0d, 0x0c, 0x0b, 0x0a]);
+        // Type+size word: Scan (code 2) in the top 2 bits, size 5 below.
+        assert_eq!(u32::from_le_bytes(wire[12..16].try_into().unwrap()), (2 << 30) | 5);
     }
 
     #[test]

@@ -240,6 +240,11 @@ pub struct RunResult {
     pub reconfigs: usize,
     /// `ok=false` responses observed by clients post-warmup.
     pub not_found: u64,
+    /// Stage-level metrics snapshot at the end of the measured window
+    /// (per-stage counters, latency histograms, occupancy high-water marks).
+    pub stage_metrics: Option<utps_sim::MetricsSnapshot>,
+    /// Tuner decision log: every trisection probe taken during the run.
+    pub tuner_probes: Vec<crate::tuner::TunerProbe>,
 }
 
 /// Runs μTPS under `cfg` and returns its measurements.
@@ -276,6 +281,7 @@ pub fn run_utps_with_world(cfg: &RunConfig) -> (RunResult, UtpsWorld) {
         driver: DriverState::new(cfg.clients, SimTime(cfg.warmup)),
         mr_ways: cfg.mr_ways,
         tuner_trace: Vec::new(),
+        tuner_probes: Vec::new(),
     };
 
     // Cores: one per worker plus one for the manager.
@@ -327,10 +333,14 @@ pub fn run_utps_with_world(cfg: &RunConfig) -> (RunResult, UtpsWorld) {
     // Warmup, reset the PCM-style counters, then measure.
     eng.run_until(SimTime(cfg.warmup));
     eng.machine().cache.metrics.reset();
+    eng.machine().registry.reset();
     eng.world.stats.responses = 0;
     eng.world.stats.cr_local = 0;
     eng.world.stats.forwarded = 0;
     eng.world.hot.reset_stats();
+    eng.world.ring.polls = 0;
+    eng.world.ring.poll_hits = 0;
+    eng.world.ring.dma_count = 0;
     eng.run_until(SimTime(cfg.warmup + cfg.duration));
 
     let result = extract_result(cfg, &mut eng);
@@ -340,6 +350,40 @@ pub fn run_utps_with_world(cfg: &RunConfig) -> (RunResult, UtpsWorld) {
 /// Builds the [`RunResult`] from a finished μTPS engine.
 pub fn extract_result(cfg: &RunConfig, eng: &mut Engine<UtpsWorld>) -> RunResult {
     let metrics = eng.machine().cache.metrics.clone();
+
+    // Fold world-side counters into the registry so the snapshot is one
+    // self-contained observability artifact for the measured window.
+    {
+        let w = &eng.world;
+        let folds: [(&'static str, u64); 9] = [
+            ("ring.polls", w.ring.polls),
+            ("ring.poll_hits", w.ring.poll_hits),
+            ("ring.dma", w.ring.dma_count),
+            ("server.responses", w.stats.responses),
+            ("server.cr_local", w.stats.cr_local),
+            ("server.forwarded", w.stats.forwarded),
+            ("hot.hits", w.hot.hits),
+            ("hot.misses", w.hot.misses),
+            ("crmr.pushed", w.crmr.total_pushed()),
+        ];
+        let gauges: [(&'static str, u64); 3] = [
+            ("cfg.n_cr", w.cfg.n_cr as u64),
+            ("cfg.cache_items", w.hot.len() as u64),
+            ("cfg.mr_ways", w.mr_ways as u64),
+        ];
+        let reg = &mut eng.machine().registry;
+        for (name, v) in folds {
+            reg.counter_add(name, v);
+        }
+        for (name, v) in gauges {
+            reg.gauge_set(name, v);
+        }
+    }
+    let snapshot = eng
+        .machine()
+        .registry
+        .snapshot(SimTime(cfg.warmup + cfg.duration));
+
     let world = &eng.world;
     let d = &world.driver;
     let hist = d.merged_hist();
@@ -370,7 +414,66 @@ pub fn extract_result(cfg: &RunConfig, eng: &mut Engine<UtpsWorld>) -> RunResult
         tuner_events: render_tuner_events(&world.tuner_trace),
         reconfigs: world.stats.reconfig_events.len(),
         not_found: d.clients.iter().map(|c| c.not_found).sum(),
+        stage_metrics: Some(snapshot),
+        tuner_probes: world.tuner_probes.clone(),
     }
+}
+
+/// Renders the tuner decision log as a deterministic JSON array.
+pub fn tuner_probes_json(probes: &[crate::tuner::TunerProbe]) -> String {
+    use utps_sim::metrics::json_f64;
+    let mut s = String::from("[");
+    for (i, p) in probes.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "{{\"at_ps\":{},\"phase\":\"{}\",\"cache_items\":{},\"n_cr\":{},\
+             \"mr_ways\":{},\"objective\":{},\"accepted\":{}}}",
+            p.at.as_ps(),
+            p.phase.name(),
+            p.cache_items,
+            p.n_cr,
+            p.mr_ways,
+            json_f64(p.objective),
+            p.accepted,
+        ));
+    }
+    s.push(']');
+    s
+}
+
+/// Renders a [`RunResult`] — headline numbers, the stage-metrics snapshot,
+/// and the tuner decision log — as one deterministic JSON document. This is
+/// the machine-readable sidecar the bench binaries write next to their CSVs.
+pub fn stats_json(r: &RunResult) -> String {
+    use utps_sim::metrics::json_f64;
+    let mut s = String::from("{");
+    s.push_str(&format!("\"mops\":{},", json_f64(r.mops)));
+    s.push_str(&format!("\"completed\":{},", r.completed));
+    s.push_str(&format!("\"p50_ns\":{},", r.p50_ns));
+    s.push_str(&format!("\"p99_ns\":{},", r.p99_ns));
+    s.push_str(&format!("\"mean_ns\":{},", json_f64(r.mean_ns)));
+    s.push_str(&format!("\"llc_miss_cr\":{},", json_f64(r.llc_miss_cr)));
+    s.push_str(&format!("\"llc_miss_mr\":{},", json_f64(r.llc_miss_mr)));
+    s.push_str(&format!("\"llc_miss_all\":{},", json_f64(r.llc_miss_all)));
+    s.push_str(&format!("\"cr_local_frac\":{},", json_f64(r.cr_local_frac)));
+    s.push_str(&format!("\"final_n_cr\":{},", r.final_n_cr));
+    s.push_str(&format!("\"workers\":{},", r.workers));
+    s.push_str(&format!("\"final_cache_items\":{},", r.final_cache_items));
+    s.push_str(&format!("\"final_mr_ways\":{},", r.final_mr_ways));
+    s.push_str(&format!("\"reconfigs\":{},", r.reconfigs));
+    s.push_str(&format!("\"not_found\":{},", r.not_found));
+    s.push_str(&format!(
+        "\"tuner_probes\":{},",
+        tuner_probes_json(&r.tuner_probes)
+    ));
+    match &r.stage_metrics {
+        Some(snap) => s.push_str(&format!("\"stage_metrics\":{}", snap.to_json())),
+        None => s.push_str("\"stage_metrics\":null"),
+    }
+    s.push('}');
+    s
 }
 
 /// Converts raw (time, cumulative-count) samples into (sec, Mops) intervals.

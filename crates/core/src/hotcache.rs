@@ -107,6 +107,9 @@ impl HotCache {
     pub fn rebuild(&mut self, mut pairs: Vec<(u64, ItemId)>) {
         pairs.truncate(self.target_size);
         self.entries = SortedCache::build(pairs);
+        // Every generation reuses the same virtual region: the rebuilt array
+        // replaces the old one in the same cache lines (epoch switch).
+        self.entries.set_virt_base(utps_sim::vaddr::HOT_CACHE);
         self.generation += 1;
     }
 

@@ -21,6 +21,28 @@ pub enum OpKind {
     Delete,
 }
 
+impl OpKind {
+    /// 2-bit wire code used in the descriptor's type+size word.
+    pub fn code(self) -> u8 {
+        match self {
+            OpKind::Get => 0,
+            OpKind::Put => 1,
+            OpKind::Scan => 2,
+            OpKind::Delete => 3,
+        }
+    }
+
+    /// Inverse of [`OpKind::code`] (only the low 2 bits are inspected).
+    pub fn from_code(code: u8) -> OpKind {
+        match code & 0b11 {
+            0 => OpKind::Get,
+            1 => OpKind::Put,
+            2 => OpKind::Scan,
+            _ => OpKind::Delete,
+        }
+    }
+}
+
 /// A client request.
 #[derive(Clone, Debug)]
 pub struct Request {

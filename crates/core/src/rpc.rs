@@ -22,7 +22,7 @@
 
 use utps_sim::cache::CacheHierarchy;
 use utps_sim::time::SimTime;
-use utps_sim::{Ctx, Fabric};
+use utps_sim::{vaddr, Ctx, Fabric};
 
 use crate::msg::{NetMsg, Request, Response};
 
@@ -43,12 +43,18 @@ enum SlotState {
 pub struct RecvRing {
     slot_size: usize,
     nslots: usize,
-    /// Real backing bytes: slot addresses for cache charging.
-    backing: Vec<u8>,
+    /// Virtual base of the slot bytes (see [`utps_sim::vaddr`]); slot
+    /// addresses for cache charging are derived from it deterministically.
+    virt_base: usize,
     slots: Vec<SlotState>,
     head: u64,
     /// Requests DMAed in total.
     pub dma_count: u64,
+    /// Worker poll attempts on owned slots (see [`RecvRing::poll_posted`]).
+    pub polls: u64,
+    /// Poll attempts that found a posted request — `poll_hits / polls` is
+    /// the receive-ring poll efficiency.
+    pub poll_hits: u64,
     /// Per-request parse cost in ns. The single-queue reconfigurable RPC
     /// pays slightly more per message (MP-RQ slot bookkeeping) than eRPC's
     /// heavily optimized per-worker path; eRPCKV lowers this.
@@ -61,14 +67,22 @@ impl RecvRing {
     /// The paper keeps the total receive buffer small (≪ LLC) so DDIO keeps
     /// it cache-resident; defaults in [`crate::experiment`] follow that.
     pub fn new(nslots: usize, slot_size: usize) -> Self {
+        RecvRing::new_at(nslots, slot_size, vaddr::RECV_RING)
+    }
+
+    /// Like [`RecvRing::new`], placing the slots at `virt_base` (per-worker
+    /// rings use `RECV_RING + worker * RECV_RING_STRIDE`).
+    pub fn new_at(nslots: usize, slot_size: usize, virt_base: usize) -> Self {
         assert!(nslots.is_power_of_two(), "slot count must be a power of two");
         RecvRing {
             slot_size,
             nslots,
-            backing: vec![0u8; nslots * slot_size],
+            virt_base,
             slots: (0..nslots).map(|_| SlotState::Free).collect(),
             head: 0,
             dma_count: 0,
+            polls: 0,
+            poll_hits: 0,
             parse_ns: 12,
         }
     }
@@ -80,7 +94,7 @@ impl RecvRing {
 
     /// Total receive buffer bytes.
     pub fn bytes(&self) -> usize {
-        self.backing.len()
+        self.nslots * self.slot_size
     }
 
     /// Next sequence number the NIC will fill.
@@ -90,7 +104,7 @@ impl RecvRing {
 
     /// Memory address of the slot for `seq`.
     pub fn slot_addr(&self, seq: u64) -> usize {
-        self.backing.as_ptr() as usize + (seq as usize % self.nslots) * self.slot_size
+        self.virt_base + (seq as usize % self.nslots) * self.slot_size
     }
 
     #[inline]
@@ -143,6 +157,18 @@ impl RecvRing {
     /// Whether the slot for `seq` holds an unclaimed request.
     pub fn is_posted(&self, seq: u64) -> bool {
         seq < self.head && matches!(self.slots[self.idx(seq)], SlotState::Posted(_))
+    }
+
+    /// Counted variant of [`RecvRing::is_posted`]: the worker polling path,
+    /// tallying attempts and hits so `poll_hits / polls` measures how often
+    /// the poll loop finds work (receive-ring poll efficiency).
+    pub fn poll_posted(&mut self, seq: u64) -> bool {
+        self.polls += 1;
+        let hit = self.is_posted(seq);
+        if hit {
+            self.poll_hits += 1;
+        }
+        hit
     }
 
     /// Worker-side: claims the request at `seq`, charging the header read.
@@ -211,7 +237,7 @@ impl RecvRing {
 pub struct RespBuffers {
     region: usize,
     regions_per_worker: usize,
-    backing: Vec<u8>,
+    virt_base: usize,
     workers: usize,
 }
 
@@ -222,7 +248,7 @@ impl RespBuffers {
         RespBuffers {
             region,
             regions_per_worker,
-            backing: vec![0u8; workers * regions_per_worker * region],
+            virt_base: vaddr::RESP_BUF,
             workers,
         }
     }
@@ -236,7 +262,7 @@ impl RespBuffers {
     pub fn addr_for(&self, worker: usize, seq: u64) -> usize {
         debug_assert!(worker < self.workers);
         let r = (seq as usize) % self.regions_per_worker;
-        self.backing.as_ptr() as usize + (worker * self.regions_per_worker + r) * self.region
+        self.virt_base + (worker * self.regions_per_worker + r) * self.region
     }
 }
 

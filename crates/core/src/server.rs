@@ -112,6 +112,9 @@ pub struct UtpsWorld {
     pub mr_ways: usize,
     /// Auto-tuner event trace (Figure 14 annotations).
     pub tuner_trace: Vec<crate::tuner::TunerEvent>,
+    /// Auto-tuner decision log: every trisection probe (§3.5), mirrored here
+    /// from [`crate::tuner::Tuner::decision_log`] so runs can export it.
+    pub tuner_probes: Vec<crate::tuner::TunerProbe>,
 }
 
 impl KvWorld for UtpsWorld {
@@ -161,6 +164,9 @@ impl UtpsWorld {
 }
 
 /// Roles a worker can be in.
+// One Role per worker for the whole run; boxing the large CR state would
+// add a pointer chase to every step for a few hundred bytes total.
+#[allow(clippy::large_enum_variant)]
 enum Role {
     Cr(CrState),
     Mr(MrState),
@@ -182,8 +188,8 @@ struct CrState {
     mr_rr: usize,
     /// Round-robin completion-poll lane.
     comp_rr: usize,
-    /// In-progress local (hot-hit) operation.
-    local: Option<(u64, KvOp)>,
+    /// In-progress local (hot-hit) operation and its claim timestamp.
+    local: Option<(u64, KvOp, SimTime)>,
     /// Request counter for sampling.
     sample_ctr: u32,
     /// True when this worker is draining to move to the MR layer.
@@ -235,6 +241,8 @@ struct ActiveOp {
     seq: u64,
     op: KvOp,
     done: bool,
+    /// When the descriptor was popped (traversal-latency measurement).
+    started: SimTime,
 }
 
 /// Memory-resident worker state.
@@ -301,16 +309,16 @@ impl UtpsWorker {
         };
 
         // 0. Finish a blocked/ready local hot-path operation first.
-        if let Some((seq, mut op)) = st.local.take() {
+        if let Some((seq, mut op, started)) = st.local.take() {
             loop {
                 match op.poll(ctx, &mut world.store) {
                     Step::Done(out) => {
-                        Self::cr_finish_local(ctx, world, id, seq, out);
+                        Self::cr_finish_local(ctx, world, id, seq, out, started);
                         break;
                     }
                     Step::Ready => continue,
                     Step::Blocked => {
-                        st.local = Some((seq, op));
+                        st.local = Some((seq, op, started));
                         return;
                     }
                 }
@@ -385,7 +393,7 @@ impl UtpsWorker {
         // 4. Claim and process the next owned slot.
         let backlog = st.outstanding();
         let may_claim = backlog < world.cfg.batch * 8 && !st.draining;
-        let claimed = if may_claim && world.ring.is_posted(st.cursor) {
+        let claimed = if may_claim && world.ring.poll_posted(st.cursor) {
             let seq = st.cursor;
             st.cursor += st.n_local as u64;
             self.cr_process_request(ctx, world, seq);
@@ -416,10 +424,8 @@ impl UtpsWorker {
                 Role::Mr(_) => unreachable!(),
             };
             for t in mr_lo..world.cfg.workers {
-                if !st.out[t].is_empty() {
-                    if Self::push_lane(st, ctx, &mut world.crmr, id, t) > 0 {
-                        break;
-                    }
+                if !st.out[t].is_empty() && Self::push_lane(st, ctx, &mut world.crmr, id, t) > 0 {
+                    break;
                 }
             }
         }
@@ -456,6 +462,7 @@ impl UtpsWorker {
             Role::Cr(st) => st,
             Role::Mr(_) => unreachable!(),
         };
+        let started = ctx.now();
         let req = world.ring.claim(ctx, seq);
         ctx.stage_transitions(1);
         let op = req.op.clone();
@@ -489,12 +496,20 @@ impl UtpsWorker {
         match (&op, cached) {
             (Op::Get { .. }, Some(item)) => {
                 world.stats.cr_local += 1;
-                self.cr_drive_local(ctx, world, seq, KvOp::get_cached(key, item, bufs));
+                ctx.machine().registry.counter_inc("cr.hit");
+                self.cr_drive_local(ctx, world, seq, KvOp::get_cached(key, item, bufs), started);
             }
             (Op::Put { .. }, Some(item)) => {
                 world.stats.cr_local += 1;
+                ctx.machine().registry.counter_inc("cr.hit");
                 let v = value.expect("put without payload");
-                self.cr_drive_local(ctx, world, seq, KvOp::put_cached(key, item, v, bufs));
+                self.cr_drive_local(
+                    ctx,
+                    world,
+                    seq,
+                    KvOp::put_cached(key, item, v, bufs),
+                    started,
+                );
             }
             (Op::Scan { count, .. }, _) => {
                 // Hybrid scan (§4): serve the cached portion here, forward
@@ -521,11 +536,13 @@ impl UtpsWorker {
             }
             (Op::Get { .. }, None) => {
                 world.stats.forwarded += 1;
+                ctx.machine().registry.counter_inc("cr.miss");
                 self.cr_forward(ctx, world, seq, key, OpKind::Get, 0);
             }
             (Op::Put { value_len, .. }, None) => {
                 let size = *value_len as u32;
                 world.stats.forwarded += 1;
+                ctx.machine().registry.counter_inc("cr.miss");
                 self.cr_forward(ctx, world, seq, key, OpKind::Put, size);
             }
             (Op::Delete { .. }, cached) => {
@@ -548,11 +565,12 @@ impl UtpsWorker {
         world: &mut UtpsWorld,
         seq: u64,
         mut op: KvOp,
+        started: SimTime,
     ) {
         loop {
             match op.poll(ctx, &mut world.store) {
                 Step::Done(out) => {
-                    Self::cr_finish_local(ctx, world, self.id, seq, out);
+                    Self::cr_finish_local(ctx, world, self.id, seq, out, started);
                     return;
                 }
                 Step::Ready => continue,
@@ -561,7 +579,7 @@ impl UtpsWorker {
                         Role::Cr(st) => st,
                         Role::Mr(_) => unreachable!(),
                     };
-                    st.local = Some((seq, op));
+                    st.local = Some((seq, op, started));
                     return;
                 }
             }
@@ -575,11 +593,16 @@ impl UtpsWorker {
         id: usize,
         seq: u64,
         out: KvOpOutput,
+        started: SimTime,
     ) {
         let resp_addr = world.resp.addr_for(id, seq);
         let resp = Self::build_response(world.ring.request(seq), out, resp_addr);
         world.ring.abort(seq);
         world.stats.responses += 1;
+        let hit_ns = ctx.now().since(started) / utps_sim::time::NANOS;
+        let reg = &mut ctx.machine().registry;
+        reg.counter_inc("cr.response");
+        reg.hist_record("cr.hit_path_ns", hit_ns);
         send_response(ctx, &mut world.fabric, resp_addr, resp);
     }
 
@@ -594,6 +617,7 @@ impl UtpsWorker {
         size: u32,
     ) {
         let id = self.id;
+        ctx.machine().registry.counter_inc("cr.forward");
         let mr_lo = world.mr_lo();
         let n_mr = world.cfg.workers - mr_lo;
         debug_assert!(n_mr > 0, "no MR workers to forward to");
@@ -637,6 +661,7 @@ impl UtpsWorker {
                 let resp = world.ring.release(seq);
                 let resp_addr = resp.resp_addr;
                 world.stats.responses += 1;
+                ctx.machine().registry.counter_inc("cr.response");
                 send_response(ctx, &mut world.fabric, resp_addr, resp);
             }
             return;
@@ -668,6 +693,7 @@ impl UtpsWorker {
             let resp = world.ring.release(seq);
             let resp_addr = resp.resp_addr;
             world.stats.responses += 1;
+            ctx.machine().registry.counter_inc("cr.response");
             send_response(ctx, &mut world.fabric, resp_addr, resp);
         }
     }
@@ -759,6 +785,7 @@ impl UtpsWorker {
                 let got = world
                     .crmr
                     .pop_shared(ctx, &mut st.scratch, world.cfg.batch);
+                let popped_at = ctx.now();
                 for i in 0..got {
                     let d = st.scratch[i];
                     let op = build_mr_op(world, id, d);
@@ -766,7 +793,13 @@ impl UtpsWorker {
                         seq: d.seq,
                         op,
                         done: false,
+                        started: popped_at,
                     });
+                }
+                if got > 0 {
+                    let reg = &mut ctx.machine().registry;
+                    reg.hist_record("mr.batch_size", got as u64);
+                    reg.hist_record("mr.interleave_depth", st.ops.len() as u64);
                 }
                 return;
             }
@@ -783,6 +816,8 @@ impl UtpsWorker {
                 if got > 0 {
                     st.lane_pop[p] += got as u32;
                     ctx.stage_transitions(1);
+                    ctx.machine().registry.hist_record("mr.batch_size", got as u64);
+                    let popped_at = ctx.now();
                     for i in 0..got {
                         let d = st.scratch[i];
                         let op = build_mr_op(world, id, d);
@@ -790,11 +825,16 @@ impl UtpsWorker {
                             seq: d.seq,
                             op,
                             done: false,
+                            started: popped_at,
                         });
                     }
                 }
             }
             st.prod_rr = (st.prod_rr + scanned) % workers;
+            if !st.ops.is_empty() {
+                let depth = st.ops.len() as u64;
+                ctx.machine().registry.hist_record("mr.interleave_depth", depth);
+            }
             return;
         }
 
@@ -808,6 +848,8 @@ impl UtpsWorker {
             match st.ops[i].op.poll(ctx, &mut world.store) {
                 Step::Done(out) => {
                     st.ops[i].done = true;
+                    let trav_ns = ctx.now().since(st.ops[i].started) / utps_sim::time::NANOS;
+                    ctx.machine().registry.hist_record("mr.traversal_ns", trav_ns);
                     let seq = st.ops[i].seq;
                     let resp_addr = world.resp.addr_for(id, seq);
                     let resp = Self::build_response(world.ring.request(seq), out, resp_addr);

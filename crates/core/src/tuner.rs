@@ -75,6 +75,60 @@ pub enum TunerEvent {
     SearchEnded(SimTime),
 }
 
+/// Which knob a decision-log probe trialed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProbePhase {
+    /// Inner trisection over the CR/MR thread split.
+    Threads,
+    /// Final trisection over MR-reused LLC ways.
+    Ways,
+}
+
+impl ProbePhase {
+    /// Stable lower-case name (JSON export).
+    pub fn name(self) -> &'static str {
+        match self {
+            ProbePhase::Threads => "threads",
+            ProbePhase::Ways => "ways",
+        }
+    }
+}
+
+/// One entry of the structured tuner decision log: a single trisection
+/// probe — the candidate configuration, the observed objective, and whether
+/// the probe is the best seen so far in its trisection (§3.5's hierarchical
+/// search is verifiable from this log alone).
+#[derive(Clone, Debug)]
+pub struct TunerProbe {
+    /// When the window measurement completed.
+    pub at: SimTime,
+    /// Which knob was being trialed.
+    pub phase: ProbePhase,
+    /// Hot-cache target size (items) during the probe.
+    pub cache_items: usize,
+    /// CR worker count during the probe.
+    pub n_cr: usize,
+    /// LLC ways the MR layer reused during the probe (0 = all ways).
+    pub mr_ways: usize,
+    /// Measured objective: completed operations in one window.
+    pub objective: f64,
+    /// True when this probe became the best point of its trisection.
+    pub accepted: bool,
+}
+
+/// Upper bound on measurements a trisection over `n` candidates may take
+/// (tests assert convergence within this budget). Each recorded probe pair
+/// shrinks the range to ≈2/3; ranges of ≤3 points are swept exhaustively.
+pub fn trisect_probe_budget(n: usize) -> usize {
+    let mut range = n;
+    let mut probes = 0;
+    while range > 3 {
+        range = 2 * range / 3 + 1;
+        probes += 2;
+    }
+    probes + 3
+}
+
 /// Ternary (trisection) search over a unimodal integer range.
 #[derive(Clone, Debug)]
 struct Trisect {
@@ -198,6 +252,8 @@ pub struct Tuner {
     deviant: u32,
     /// Total single-window measurements taken by searches.
     pub measurements: u64,
+    /// Structured log of every trisection probe (cleared only by the owner).
+    pub decision_log: Vec<TunerProbe>,
 }
 
 impl Tuner {
@@ -212,6 +268,7 @@ impl Tuner {
             ewma: 0.0,
             deviant: 0,
             measurements: 0,
+            decision_log: Vec::new(),
         }
     }
 
@@ -369,10 +426,36 @@ impl Tuner {
             let TState::Search(search) = &mut self.state else {
                 unreachable!()
             };
-            match &mut search.phase {
-                SearchPhase::Threads => search.tri.record(value, tp),
-                SearchPhase::Ways(tri) => tri.record(value, tp),
-            }
+            // Record the probe and log the decision: `value` is n_mr in the
+            // thread phase, the MR way count in the ways phase.
+            let (phase, n_cr, mr_ways, accepted) = match &mut search.phase {
+                SearchPhase::Threads => {
+                    search.tri.record(value, tp);
+                    let accepted = search.tri.best().0 == value;
+                    (
+                        ProbePhase::Threads,
+                        world.cfg.workers - value,
+                        world.mr_ways,
+                        accepted,
+                    )
+                }
+                SearchPhase::Ways(tri) => {
+                    tri.record(value, tp);
+                    let accepted = tri.best().0 == value;
+                    (ProbePhase::Ways, world.cfg.n_cr, value, accepted)
+                }
+            };
+            let probe = TunerProbe {
+                at: now,
+                phase,
+                cache_items: world.hot.target_size,
+                n_cr,
+                mr_ways,
+                objective: tp,
+                accepted,
+            };
+            world.tuner_probes.push(probe.clone());
+            self.decision_log.push(probe);
         }
 
         // Phase 2: decide the next action.

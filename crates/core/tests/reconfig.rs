@@ -53,6 +53,7 @@ fn build_engine(workers: usize, n_cr: usize) -> (Engine<UtpsWorld>, RunConfig) {
         driver: DriverState::new(cfg.clients, SimTime(MILLIS)),
         mr_ways: 0,
         tuner_trace: Vec::new(),
+        tuner_probes: Vec::new(),
     };
     let mut eng = Engine::new(cfg.machine.clone(), cfg.workers + 1, world);
     for id in 0..cfg.workers {

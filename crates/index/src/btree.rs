@@ -19,7 +19,7 @@
 //! production B-trees; routing stays correct because separators are never
 //! removed.
 
-use utps_sim::{Arena, Ctx, OptLock};
+use utps_sim::{vaddr, Arena, Ctx, OptLock};
 
 use crate::item::ItemId;
 use crate::step::Step;
@@ -122,14 +122,28 @@ pub struct BplusTree {
 impl BplusTree {
     /// Creates an empty tree.
     pub fn new() -> Self {
-        let mut nodes = Arena::new();
-        let root = nodes.insert(Node::new(true));
-        BplusTree {
-            nodes,
-            root,
-            smo: OptLock::new(),
+        let mut tree = BplusTree {
+            nodes: Arena::with_virt_base(vaddr::INDEX_NODES),
+            root: 0,
+            smo: OptLock::at(vaddr::INDEX_META + 64),
             len: 0,
-        }
+        };
+        tree.root = tree.alloc_node(Node::new(true));
+        tree
+    }
+
+    /// Inserts `node` into the arena and points its lock word at the node's
+    /// (virtual) address, so lock traffic charges the node's own cache line.
+    fn alloc_node(&mut self, node: Node) -> u32 {
+        let id = self.nodes.insert(node);
+        let addr = self.nodes.addr_of(id);
+        self.nodes[id].lock.set_addr(addr);
+        id
+    }
+
+    /// Address charged for reads of the tree header (root pointer).
+    fn root_addr(&self) -> usize {
+        vaddr::INDEX_META
     }
 
     /// Number of stored keys.
@@ -267,7 +281,7 @@ impl BplusTree {
                 node.ptrs[i] = item;
             }
             node.count = chunk.len() as u8;
-            let id = tree.nodes.insert(node);
+            let id = tree.alloc_node(node);
             if let Some(p) = prev_leaf {
                 tree.nodes[p].next = id;
             }
@@ -300,7 +314,7 @@ impl BplusTree {
                     node.ptrs[i] = child;
                 }
                 node.count = (chunk.len() - 1) as u8;
-                let id = tree.nodes.insert(node);
+                let id = tree.alloc_node(node);
                 next_level.push((chunk[0].0, id));
             }
             level = next_level;
@@ -324,7 +338,7 @@ impl BplusTree {
         right.next = left.next;
         left.count = mid as u8;
         let sep = right.keys[0];
-        let right_id = self.nodes.insert(right);
+        let right_id = self.alloc_node(right);
         self.nodes[id].next = right_id;
         (sep, right_id)
     }
@@ -344,7 +358,7 @@ impl BplusTree {
         }
         right.count = (n - mid - 1) as u8;
         left.count = mid as u8;
-        let right_id = self.nodes.insert(right);
+        let right_id = self.alloc_node(right);
         (sep, right_id)
     }
 
@@ -436,7 +450,7 @@ impl BplusTree {
                     new_root.ptrs[0] = self.root;
                     new_root.ptrs[1] = right;
                     new_root.count = 1;
-                    let id = self.nodes.insert(new_root);
+                    let id = self.alloc_node(new_root);
                     ctx.write(self.node_addr(id), NODE_READ);
                     self.root = id;
                     return Step::Done(Ok(()));
@@ -519,7 +533,7 @@ impl TreeGet {
             Some(n) => n,
             None => {
                 // Read the tree header and prefetch the root.
-                ctx.read(&tree.root as *const u32 as usize, 8);
+                ctx.read(tree.root_addr(), 8);
                 ctx.prefetch(tree.node_addr(tree.root), NODE_READ);
                 self.node = Some(tree.root);
                 return Step::Ready;
@@ -585,7 +599,7 @@ impl TreeInsert {
     ) -> Step<Result<(), TreeInsertError>> {
         match self.state {
             InsertState::Start => {
-                ctx.read(&tree.root as *const u32 as usize, 8);
+                ctx.read(tree.root_addr(), 8);
                 ctx.prefetch(tree.node_addr(tree.root), NODE_READ);
                 self.state = InsertState::Descend(tree.root);
                 Step::Ready
@@ -679,7 +693,7 @@ impl TreeRemove {
         let n = match self.node {
             Some(n) => n,
             None => {
-                ctx.read(&tree.root as *const u32 as usize, 8);
+                ctx.read(tree.root_addr(), 8);
                 ctx.prefetch(tree.node_addr(tree.root), NODE_READ);
                 self.node = Some(tree.root);
                 return Step::Ready;
@@ -762,7 +776,7 @@ impl TreeScan {
         let n = match self.node {
             Some(n) => n,
             None => {
-                ctx.read(&tree.root as *const u32 as usize, 8);
+                ctx.read(tree.root_addr(), 8);
                 ctx.prefetch(tree.node_addr(tree.root), NODE_READ);
                 self.node = Some(tree.root);
                 self.descending = true;

@@ -10,7 +10,7 @@
 //! All operations are resumable FSMs (see [`crate::step::Step`]); none holds
 //! a lock while blocked.
 
-use utps_sim::{Ctx, OptLock};
+use utps_sim::{vaddr, Ctx, OptLock};
 
 use crate::item::ItemId;
 use crate::step::Step;
@@ -43,9 +43,10 @@ struct Bucket {
 }
 
 impl Bucket {
-    fn new() -> Self {
+    /// A bucket whose lock word charges `addr` (the bucket's virtual line).
+    fn new_at(addr: usize) -> Self {
         Bucket {
-            lock: OptLock::new(),
+            lock: OptLock::at(addr),
             keys: [0; SLOTS],
             items: [EMPTY; SLOTS],
         }
@@ -82,9 +83,11 @@ impl CuckooMap {
     pub fn with_capacity(capacity: usize) -> Self {
         let buckets = (capacity / 2).next_power_of_two().max(4);
         CuckooMap {
-            buckets: (0..buckets).map(|_| Bucket::new()).collect(),
+            buckets: (0..buckets)
+                .map(|b| Bucket::new_at(vaddr::BUCKETS + b * core::mem::size_of::<Bucket>()))
+                .collect(),
             mask: buckets - 1,
-            displace_lock: OptLock::new(),
+            displace_lock: OptLock::at(vaddr::INDEX_META + 128),
             len: 0,
         }
     }
@@ -141,7 +144,7 @@ impl CuckooMap {
     }
 
     fn bucket_addr(&self, b: usize) -> usize {
-        &self.buckets[b] as *const Bucket as usize
+        vaddr::BUCKETS + b * core::mem::size_of::<Bucket>()
     }
 
     /// Memory addresses of the two candidate buckets for `key` (used by the

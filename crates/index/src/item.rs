@@ -7,7 +7,7 @@
 //! writes charge the simulated cache for both the value bytes and the network
 //! buffer they copy to/from — data never flows through the CR-MR queue.
 
-use utps_sim::{Arena, Ctx, OptLock};
+use utps_sim::{vaddr, Arena, Ctx, OptLock};
 
 use crate::step::Step;
 
@@ -18,11 +18,16 @@ pub type ItemId = u32;
 struct Item {
     lock: OptLock,
     val: Box<[u8]>,
+    /// Virtual address of the value bytes; the lock word lives one cache
+    /// line below (`val_addr - 64`). See [`utps_sim::vaddr`].
+    val_addr: usize,
 }
 
 /// Stable-address storage for KV item payloads.
 pub struct ItemStore {
     items: Arena<Item>,
+    /// Bump cursor for virtual value blocks in [`vaddr::ITEM_VALS`].
+    val_bump: usize,
     /// Total live payload bytes (for footprint reporting).
     bytes: usize,
     /// Items logically deleted but not yet reclaimed (epoch-deferred: an
@@ -38,7 +43,8 @@ impl ItemStore {
     /// Creates an empty store.
     pub fn new() -> Self {
         ItemStore {
-            items: Arena::new(),
+            items: Arena::with_virt_base(vaddr::ITEM_SLOTS),
+            val_bump: vaddr::ITEM_VALS,
             bytes: 0,
             retired: Vec::new(),
         }
@@ -63,10 +69,21 @@ impl ItemStore {
     /// the insert path, which charges separately).
     pub fn alloc(&mut self, val: &[u8]) -> ItemId {
         self.bytes += val.len();
+        let val_addr = self.bump_value_block(val.len());
         self.items.insert(Item {
-            lock: OptLock::new(),
+            lock: OptLock::at(val_addr - 64),
             val: val.into(),
+            val_addr,
         })
+    }
+
+    /// Reserves a virtual block for a value of `len` bytes: one line for the
+    /// lock word, then the value, rounded up to whole lines (a real slab
+    /// allocator would do the same). Returns the value address.
+    fn bump_value_block(&mut self, len: usize) -> usize {
+        let block = self.val_bump;
+        self.val_bump += 64 + len.div_ceil(64).max(1) * 64;
+        block + 64
     }
 
     /// Frees an item immediately.
@@ -102,7 +119,7 @@ impl ItemStore {
 
     /// The address of the value bytes (for cache charging).
     pub fn value_addr(&self, id: ItemId) -> usize {
-        self.items[id].val.as_ptr() as usize
+        self.items[id].val_addr
     }
 
     /// The length of the value in bytes.
@@ -134,7 +151,7 @@ impl ItemStore {
         };
         let len = item.val.len();
         ctx.compute_ps(COPY_SETUP);
-        ctx.read(item.val.as_ptr() as usize, len);
+        ctx.read(item.val_addr, len);
         ctx.write(dst_addr, len);
         if item.lock.validate(ctx, v1) {
             out.clear();
@@ -165,7 +182,7 @@ impl ItemStore {
         let old_len = self.items[id].val.len();
         if src.len() <= 8 && old_len == src.len() {
             // Single atomic store: no locking required (§3.3).
-            let addr = self.items[id].val.as_ptr() as usize;
+            let addr = self.items[id].val_addr;
             ctx.atomic(addr);
             self.items[id].val.copy_from_slice(src);
             return Step::Done(());
@@ -178,15 +195,19 @@ impl ItemStore {
         }
         ctx.compute_ps(COPY_SETUP);
         if old_len == src.len() {
-            ctx.write(item.val.as_ptr() as usize, src.len());
+            ctx.write(item.val_addr, src.len());
             item.val.copy_from_slice(src);
         } else {
             // Length change: reallocate (charged as a write of the new
-            // payload plus a constant for the allocator).
+            // payload plus a constant for the allocator). The value moves to
+            // a fresh virtual block; the lock word stays put.
             ctx.compute_ns(40);
             self.bytes = self.bytes - old_len + src.len();
+            let new_addr = self.bump_value_block(src.len());
+            let item = &mut self.items[id];
             item.val = src.into();
-            ctx.write(item.val.as_ptr() as usize, src.len());
+            item.val_addr = new_addr;
+            ctx.write(new_addr, src.len());
         }
         let item = &mut self.items[id];
         item.lock.unlock(ctx);

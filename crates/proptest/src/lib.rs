@@ -1,0 +1,109 @@
+//! A hermetic, dependency-free subset of the `proptest` crate.
+//!
+//! The workspace builds in offline environments where crates.io is
+//! unreachable, so this local crate provides the slice of proptest's API the
+//! test suites actually use: the [`proptest!`] macro, composable
+//! [`strategy::Strategy`] values (ranges, tuples, [`strategy::Just`],
+//! `prop_map`, `prop_flat_map`, [`prop_oneof!`]), [`arbitrary::any`], and the
+//! [`collection`] helpers.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case reports its inputs (via a panic guard)
+//!   but is not minimized.
+//! * **Deterministic seeding.** Each test function derives its RNG seed from
+//!   its own name, so failures reproduce exactly across runs and machines —
+//!   there is no persistence file because none is needed.
+//! * `prop_assert!`/`prop_assert_eq!` are plain `assert!`/`assert_eq!`.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property (no shrinking: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Picks uniformly among the listed strategies (all must share a value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Declares property tests: `fn name(pat in strategy, ...) { body }`.
+///
+/// Each listed function runs `config.cases` generated cases (the `#[test]`
+/// attribute is written by the caller, as with upstream proptest). On panic,
+/// the failing case's inputs are printed by a drop guard.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            let mut __rng =
+                $crate::test_runner::TestRng::deterministic(stringify!($name));
+            #[allow(unused_variables)]
+            let __strategies = ($($strategy,)*);
+            for __case in 0..__config.cases {
+                let __values = $crate::strategy::GenerateTuple::generate_all(
+                    &__strategies,
+                    &mut __rng,
+                );
+                let __guard = $crate::test_runner::PanicGuard::arm(
+                    stringify!($name),
+                    __case,
+                    format!("{:?}", &__values),
+                );
+                #[allow(unused_parens)]
+                let ($($pat,)*) = __values;
+                { $body }
+                __guard.disarm();
+            }
+        }
+    )*};
+}

@@ -28,6 +28,7 @@ pub struct Arena<T> {
     chunks: Vec<Box<[Slot<T>]>>,
     free_head: u32,
     len: usize,
+    virt_base: usize,
 }
 
 enum Slot<T> {
@@ -45,7 +46,22 @@ impl<T> Arena<T> {
             chunks: Vec::new(),
             free_head: NONE,
             len: 0,
+            virt_base: 0,
         }
+    }
+
+    /// Creates an empty arena whose [`Arena::addr_of`] reports addresses in
+    /// a fixed virtual region (see [`crate::vaddr`]) instead of real heap
+    /// addresses, making charged line indices reproducible across runs.
+    pub fn with_virt_base(virt_base: usize) -> Self {
+        let mut a = Arena::new();
+        a.virt_base = virt_base;
+        a
+    }
+
+    /// Places the arena in a fixed virtual region for [`Arena::addr_of`].
+    pub fn set_virt_base(&mut self, virt_base: usize) {
+        self.virt_base = virt_base;
     }
 
     /// Creates an empty arena pre-sized for `cap` elements.
@@ -139,13 +155,21 @@ impl<T> Arena<T> {
     /// The address is used to charge the simulated cache hierarchy; it stays
     /// valid until the element is removed (slot reuse hands the same address
     /// to the next occupant, which is exactly how a real allocator behaves).
+    /// With a virtual base set, the address is `base + id * stride` — same
+    /// stability and reuse semantics, but identical run to run.
     ///
     /// # Panics
     ///
     /// Panics if `id` is not an occupied slot.
     pub fn addr_of(&self, id: u32) -> usize {
         match self.slot(id) {
-            Some(s @ Slot::Occupied(_)) => s as *const Slot<T> as usize,
+            Some(s @ Slot::Occupied(_)) => {
+                if self.virt_base != 0 {
+                    self.virt_base + id as usize * core::mem::size_of::<Slot<T>>()
+                } else {
+                    s as *const Slot<T> as usize
+                }
+            }
             _ => panic!("addr_of on free arena slot {id}"),
         }
     }

@@ -889,7 +889,7 @@ mod tests {
         let mut h = hierarchy(1);
         h.nic_write(0x100 * LINE, 64);
         let way = h.llc.way_of(0x100).expect("line must be in LLC");
-        let ddio_lowest = (h.cfg.cache.llc_ways - h.cfg.cache.ddio_ways) as usize;
+        let ddio_lowest = h.cfg.cache.llc_ways - h.cfg.cache.ddio_ways;
         assert!(way >= ddio_lowest, "DDIO must use the rightmost ways");
         assert_eq!(h.metrics.ddio_allocs, 1);
     }
@@ -995,7 +995,7 @@ mod tests {
         cfg.cost.dram_line_service = 2_200;
         let mut h = CacheHierarchy::new(&cfg, 8);
         // 8 cores streaming disjoint cold lines as fast as latency allows.
-        let mut clocks = vec![SimTime::ZERO; 8];
+        let mut clocks = [SimTime::ZERO; 8];
         let horizon = SimTime::from_micros(100);
         let mut next_addr: usize = 1 << 30;
         let mut lines = 0u64;
@@ -1022,7 +1022,7 @@ mod tests {
         assert!(rate_mlps < 470.0, "rate {rate_mlps} exceeds channel capacity");
         // And with prefetch-driven parallelism the cap must bind from below:
         let mut h2 = CacheHierarchy::new(&cfg, 8);
-        let mut clocks = vec![SimTime::ZERO; 8];
+        let mut clocks = [SimTime::ZERO; 8];
         let mut addr: usize = 1 << 30;
         let mut lines2 = 0u64;
         loop {

@@ -45,6 +45,9 @@ pub struct Machine {
     pub cfg: MachineConfig,
     /// The simulated cache hierarchy.
     pub cache: CacheHierarchy,
+    /// Named per-stage instruments (counters, gauges, latency histograms)
+    /// any process can record into; see [`crate::metrics::MetricsRegistry`].
+    pub registry: crate::metrics::MetricsRegistry,
 }
 
 impl Machine {
@@ -53,6 +56,7 @@ impl Machine {
         Machine {
             cache: CacheHierarchy::new(&cfg, cores),
             cfg,
+            registry: crate::metrics::MetricsRegistry::new(),
         }
     }
 }

@@ -31,6 +31,7 @@ pub mod lock;
 pub mod metrics;
 pub mod nic;
 pub mod time;
+pub mod vaddr;
 
 pub use arena::Arena;
 pub use cache::{CacheHierarchy, StatClass};
@@ -38,5 +39,5 @@ pub use config::{CacheConfig, CostConfig, MachineConfig, NetConfig};
 pub use engine::{Ctx, Engine, Machine, ProcId, Process};
 pub use nic::{DelayQueue, Fabric, Pipe};
 pub use lock::{OptLock, SimLock, VersionSeqLock};
-pub use metrics::{AccessKind, Metrics};
+pub use metrics::{AccessKind, Metrics, MetricsRegistry, MetricsSnapshot};
 pub use time::{SimTime, MICROS, MILLIS, NANOS, SECS};

@@ -69,6 +69,9 @@ impl SimLock {
 #[derive(Debug, Default)]
 pub struct OptLock {
     version: u64,
+    /// Virtual address charged for this lock word (see [`crate::vaddr`]);
+    /// zero means "fall back to the real address" (non-deterministic).
+    addr: usize,
 }
 
 impl OptLock {
@@ -77,8 +80,22 @@ impl OptLock {
         OptLock::default()
     }
 
+    /// Creates an unlocked lock charging `addr` for its lock word.
+    pub fn at(addr: usize) -> Self {
+        OptLock { version: 0, addr }
+    }
+
+    /// Sets the virtual address charged for this lock word.
+    pub fn set_addr(&mut self, addr: usize) {
+        self.addr = addr;
+    }
+
     fn addr(&self) -> usize {
-        self as *const _ as usize
+        if self.addr != 0 {
+            self.addr
+        } else {
+            self as *const _ as usize
+        }
     }
 
     /// Starts an optimistic read: returns the version, or `None` if a writer

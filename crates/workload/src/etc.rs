@@ -7,8 +7,7 @@
 //! size envelope). Keys are zipfian (θ = 0.99), matching the skewed ETC
 //! access pattern.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
+use crate::rng::SmallRng;
 
 use crate::ycsb::Op;
 use crate::zipf::{rng_for, KeyDist};

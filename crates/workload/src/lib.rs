@@ -21,6 +21,7 @@
 pub mod dynamic;
 pub mod etc;
 pub mod replay;
+pub mod rng;
 pub mod twitter;
 pub mod ycsb;
 pub mod zipf;

@@ -5,8 +5,7 @@
 //! proprietary, so this module synthesizes streams with exactly those
 //! parameters (DESIGN.md substitution table).
 
-use rand::rngs::SmallRng;
-use rand::Rng;
+use crate::rng::SmallRng;
 
 use crate::ycsb::Op;
 use crate::zipf::{rng_for, KeyDist};

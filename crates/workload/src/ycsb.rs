@@ -1,7 +1,6 @@
 //! YCSB core workloads and the paper's custom operation mixes.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
+use crate::rng::SmallRng;
 
 use crate::zipf::{rng_for, KeyDist};
 use crate::Workload;

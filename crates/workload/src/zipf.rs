@@ -1,7 +1,6 @@
 //! Key distributions: uniform and YCSB-style (scrambled) zipfian.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SmallRng;
 
 #[inline]
 fn mix64(mut x: u64) -> u64 {
