@@ -12,12 +12,13 @@
 use utps_core::client::{ClientProc, DriverState, KvWorld};
 use utps_core::experiment::{RunConfig, RunResult};
 use utps_core::msg::NetMsg;
+use utps_core::retry::DedupTable;
 use utps_core::rpc::{send_response, RecvRing, RespBuffers};
 use utps_core::store::{KvOp, KvStore, OpBuffers};
 use utps_index::Step;
 use utps_sim::nic::Fabric;
 use utps_sim::time::SimTime;
-use utps_sim::{Ctx, Engine, Process, StatClass};
+use utps_sim::{Ctx, Engine, FaultPlan, Process, StatClass};
 use utps_workload::Op;
 
 /// BaseKV server world.
@@ -36,6 +37,8 @@ pub struct BaseWorld {
     pub driver: DriverState,
     /// Responses sent.
     pub responses: u64,
+    /// Duplicate-PUT suppression table (active only under retry/faults).
+    pub dedup: DedupTable,
 }
 
 impl KvWorld for BaseWorld {
@@ -98,7 +101,7 @@ impl Process<BaseWorld> for BaseWorker {
             {
                 let now = ctx.now();
                 let m = ctx.machine();
-                world.ring.pump(&mut m.cache, &mut world.fabric, now, 8);
+                world.ring.pump(m, &mut world.fabric, now, 8);
             }
             let n = world.workers as u64;
             while self.ops.len() < self.batch && world.ring.is_posted(self.cursor) {
@@ -107,6 +110,35 @@ impl Process<BaseWorld> for BaseWorker {
                 world.ring.claim(ctx, seq);
                 // Monolithic loop: parse→index→copy→respond front-end churn.
                 ctx.stage_transitions(3);
+                // Retransmitted mutation already applied? Ack without
+                // re-executing (exactly-once under client retransmits).
+                let (rc, rs, sent_at, is_mutation) = {
+                    let req = world.ring.request(seq);
+                    (
+                        req.client,
+                        req.seq,
+                        req.sent_at,
+                        matches!(req.op, Op::Put { .. } | Op::Delete { .. }),
+                    )
+                };
+                if is_mutation && world.dedup.enabled() && world.dedup.seen(rc, rs) {
+                    ctx.machine().registry.counter_inc("server.dup_suppressed");
+                    let resp = utps_core::msg::Response {
+                        client: rc,
+                        seq: rs,
+                        ok: true,
+                        value: None,
+                        scan_count: 0,
+                        payload_extra: 0,
+                        resp_addr: 0,
+                        sent_at,
+                    };
+                    let resp_addr = world.resp.addr_for(self.id, seq);
+                    world.ring.abort(seq);
+                    world.responses += 1;
+                    send_response(ctx, &mut world.fabric, resp_addr, resp);
+                    continue;
+                }
                 self.ops.push(Self::build_op(world, self.id, seq));
             }
             return;
@@ -136,6 +168,7 @@ impl Process<BaseWorld> for BaseWorker {
                         sent_at: req.sent_at,
                     };
                     let resp_addr = world.resp.addr_for(self.id, finished.seq);
+                    world.dedup.record(resp.client, resp.seq);
                     world.ring.abort(finished.seq);
                     world.responses += 1;
                     send_response(ctx, &mut world.fabric, resp_addr, resp);
@@ -168,8 +201,13 @@ pub fn run_basekv_opts(cfg: &RunConfig, isolate_ddio: bool) -> RunResult {
         workers: cfg.workers,
         driver: DriverState::new(cfg.clients, SimTime(cfg.warmup)),
         responses: 0,
+        dedup: DedupTable::new(
+            cfg.clients,
+            cfg.retry.enabled() || cfg.faults.net_active(),
+        ),
     };
     let mut eng = Engine::new(cfg.machine.clone(), cfg.workers, world);
+    eng.machine().faults = FaultPlan::new(cfg.faults.clone(), cfg.seed);
     if isolate_ddio {
         let full = eng.machine().cache.full_mask();
         let ddio = eng.machine().cache.ddio_mask();
@@ -189,7 +227,12 @@ pub fn run_basekv_opts(cfg: &RunConfig, isolate_ddio: bool) -> RunResult {
         eng.spawn(
             None,
             StatClass::Other,
-            Box::new(ClientProc::new(c as u32, wl, cfg.pipeline)),
+            Box::new(ClientProc::with_retry(
+                c as u32,
+                wl,
+                cfg.pipeline,
+                cfg.retry.clone(),
+            )),
         );
     }
     if cfg.timeline_interval > 0 {

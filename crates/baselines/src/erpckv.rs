@@ -18,10 +18,9 @@ use utps_core::msg::{NetMsg, Request, Response};
 use utps_core::rpc::{send_response, RecvRing, RespBuffers};
 use utps_core::store::{KvOp, KvStore, OpBuffers};
 use utps_index::Step;
-use utps_sim::cache::CacheHierarchy;
 use utps_sim::nic::Fabric;
 use utps_sim::time::SimTime;
-use utps_sim::{Ctx, Engine, Process, StatClass};
+use utps_sim::{Ctx, Engine, FaultPlan, Machine, Process, RecvFate, StatClass};
 use utps_workload::Op;
 
 /// eRPC worker buffer budget (the paper: "15-MB buffer per worker thread").
@@ -58,20 +57,53 @@ impl KvWorld for ErpcWorld {
 impl ErpcWorld {
     /// NIC-side routing: steers arrivals to `key mod workers` rings.
     /// Free for the CPUs (clients address worker QPs directly).
-    fn route(&mut self, cache: &mut CacheHierarchy, now: SimTime, limit: usize) {
+    ///
+    /// Receive-side fault fates (drop / duplicate / delay) apply to fresh
+    /// fabric arrivals only — overflow retries already "arrived" once.
+    fn route(&mut self, m: &mut Machine, now: SimTime, limit: usize) {
         let mut moved = 0;
-        while moved < limit {
+        let mut polls = 0;
+        while moved < limit && polls < limit * 4 {
             // Retry overflow first to preserve per-flow ordering.
             let req = match self.overflow.pop_front() {
                 Some(r) => r,
-                None => match self.fabric.server_poll(now) {
-                    Some(NetMsg::Req(r)) => r,
-                    Some(NetMsg::Resp(_)) => unreachable!("server got a response"),
-                    None => break,
-                },
+                None => {
+                    polls += 1;
+                    match self.fabric.server_poll(now) {
+                        Some(NetMsg::Req(r)) => {
+                            if m.faults.net_active() {
+                                match m.faults.recv_fate() {
+                                    RecvFate::Drop => {
+                                        m.registry.counter_inc("fault.rx_drop");
+                                        continue;
+                                    }
+                                    RecvFate::Delay { delay } => {
+                                        m.registry.counter_inc("fault.rx_delay");
+                                        self.fabric
+                                            .redeliver_server(now + delay, NetMsg::Req(r));
+                                        continue;
+                                    }
+                                    RecvFate::Duplicate { delay } => {
+                                        m.registry.counter_inc("fault.rx_dup");
+                                        self.fabric.redeliver_server(
+                                            now + delay,
+                                            NetMsg::Req(r.clone()),
+                                        );
+                                        r
+                                    }
+                                    RecvFate::Deliver => r,
+                                }
+                            } else {
+                                r
+                            }
+                        }
+                        Some(NetMsg::Resp(_)) => unreachable!("server got a response"),
+                        None => break,
+                    }
+                }
             };
             let target = (req.op.key() % self.workers as u64) as usize;
-            match self.rings[target].try_dma(cache, req) {
+            match self.rings[target].try_dma(&mut m.cache, req) {
                 Ok(_) => moved += 1,
                 Err(req) => {
                     self.overflow.push_front(req);
@@ -112,8 +144,7 @@ impl Process<ErpcWorld> for ErpcWorker {
         if self.ops.is_empty() {
             {
                 let now = ctx.now();
-                let m = ctx.machine();
-                world.route(&mut m.cache, now, 8);
+                world.route(ctx.machine(), now, 8);
             }
             while self.ops.len() < self.batch && world.rings[self.id].is_posted(self.cursor) {
                 let seq = self.cursor;
@@ -204,6 +235,7 @@ pub fn run_erpckv(cfg: &RunConfig) -> RunResult {
         driver: DriverState::new(cfg.clients, SimTime(cfg.warmup)),
     };
     let mut eng = Engine::new(cfg.machine.clone(), cfg.workers, world);
+    eng.machine().faults = FaultPlan::new(cfg.faults.clone(), cfg.seed);
     for id in 0..cfg.workers {
         eng.spawn(
             Some(id),
@@ -216,7 +248,12 @@ pub fn run_erpckv(cfg: &RunConfig) -> RunResult {
         eng.spawn(
             None,
             StatClass::Other,
-            Box::new(ClientProc::new(c as u32, wl, cfg.pipeline)),
+            Box::new(ClientProc::with_retry(
+                c as u32,
+                wl,
+                cfg.pipeline,
+                cfg.retry.clone(),
+            )),
         );
     }
     if cfg.timeline_interval > 0 {

@@ -365,6 +365,10 @@ pub fn run_passive(cfg: &RunConfig, proto: PassiveProtocol) -> RunResult {
         driver: DriverState::new(nclients, SimTime(cfg.warmup)),
     };
     let mut eng = Engine::new(cfg.machine.clone(), 1, world);
+    // One-sided verbs bypass the receive ring, so network fault fates do not
+    // apply here; the plan still drives per-core stall windows and keeps the
+    // stats schema uniform across systems.
+    eng.machine().faults = utps_sim::FaultPlan::new(cfg.faults.clone(), cfg.seed);
     eng.spawn(None, StatClass::Other, Box::new(VerbEngine));
     for c in 0..nclients {
         let wl = cfg.workload.build(cfg.keys, cfg.seed, c as u64);

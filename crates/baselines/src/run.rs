@@ -29,6 +29,7 @@ pub fn result_from_driver<W>(
     driver: impl Fn(&W) -> &DriverState,
 ) -> RunResult {
     let metrics = eng.machine().cache.metrics.clone();
+    utps_core::experiment::pin_fault_counters(&mut eng.machine().registry);
     let snapshot = eng
         .machine()
         .registry
@@ -56,6 +57,11 @@ pub fn result_from_driver<W>(
         tuner_events: Vec::new(),
         reconfigs: 0,
         not_found: d.clients.iter().map(|c| c.not_found).sum(),
+        issued: d.clients.iter().map(|c| c.issued).sum(),
+        completed_total: d.completed_total(),
+        retransmits: d.clients.iter().map(|c| c.retransmits).sum(),
+        dup_resps: d.clients.iter().map(|c| c.dup_resps).sum(),
+        failed: d.clients.iter().map(|c| c.failed).sum(),
         stage_metrics: Some(snapshot),
         tuner_probes: Vec::new(),
     }

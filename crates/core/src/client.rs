@@ -15,6 +15,7 @@ use utps_sim::{Ctx, Process};
 use utps_workload::{Op, Workload};
 
 use crate::msg::{NetMsg, Request};
+use crate::retry::{RetryConfig, RetryState};
 
 /// Per-client measurement state.
 #[derive(Default)]
@@ -29,6 +30,16 @@ pub struct ClientStats {
     pub payload_bytes: u64,
     /// Gets that returned `ok = false` (missing keys).
     pub not_found: u64,
+    /// Distinct operations offered (first sends, not retransmits),
+    /// including warmup. The exactly-once ledger:
+    /// `issued == completed_total + failed + still-in-flight`.
+    pub issued: u64,
+    /// Retransmits sent after a timeout, including warmup.
+    pub retransmits: u64,
+    /// Responses discarded as duplicates, including warmup.
+    pub dup_resps: u64,
+    /// Operations reported failed after exhausting the retry budget.
+    pub failed: u64,
 }
 
 /// Measurement state shared by the driver side of every world.
@@ -81,7 +92,8 @@ pub trait KvWorld {
     fn driver_mut(&mut self) -> &mut DriverState;
 }
 
-/// A closed-loop client process.
+/// A closed-loop client process, optionally with request timeouts and
+/// bounded exponential backoff (see [`crate::retry`]).
 pub struct ClientProc {
     id: u32,
     workload: Box<dyn Workload + Send>,
@@ -89,11 +101,24 @@ pub struct ClientProc {
     outstanding: usize,
     next_seq: u64,
     value_fill: u8,
+    retry: RetryConfig,
+    pending: RetryState,
 }
 
 impl ClientProc {
-    /// Creates a client keeping `pipeline` requests outstanding.
+    /// Creates a client keeping `pipeline` requests outstanding, without
+    /// timeouts (the seed behavior).
     pub fn new(id: u32, workload: Box<dyn Workload + Send>, pipeline: usize) -> Self {
+        ClientProc::with_retry(id, workload, pipeline, RetryConfig::disabled())
+    }
+
+    /// Creates a client with the given retry policy.
+    pub fn with_retry(
+        id: u32,
+        workload: Box<dyn Workload + Send>,
+        pipeline: usize,
+        retry: RetryConfig,
+    ) -> Self {
         ClientProc {
             id,
             workload,
@@ -101,6 +126,8 @@ impl ClientProc {
             outstanding: 0,
             next_seq: 0,
             value_fill: 0x40 + (id as u8 & 0x3f),
+            retry,
+            pending: RetryState::new(),
         }
     }
 
@@ -115,6 +142,7 @@ impl<W: KvWorld> Process<W> for ClientProc {
         let now = ctx.now();
         self.workload.set_time_ns(now.as_nanos());
         let measure_start = world.driver_mut().measure_start;
+        let retry_on = self.retry.enabled();
         // Drain responses.
         let mut drained = 0;
         while let Some(msg) = world.fabric_mut().client_poll(self.id as usize, now) {
@@ -122,13 +150,29 @@ impl<W: KvWorld> Process<W> for ClientProc {
                 NetMsg::Resp(r) => r,
                 NetMsg::Req(_) => unreachable!("client received a request"),
             };
-            self.outstanding -= 1;
             drained += 1;
+            // With retries on, a response only completes a request still in
+            // the pending table; late duplicates are counted and dropped.
+            // Latency is measured from the first send either way (they
+            // coincide when nothing was retransmitted).
+            let first_sent = if retry_on {
+                match self.pending.on_response(resp.seq) {
+                    Some(p) => p.first_sent,
+                    None => {
+                        world.driver_mut().clients[self.id as usize].dup_resps += 1;
+                        ctx.machine().registry.counter_inc("client.dup_resp");
+                        continue;
+                    }
+                }
+            } else {
+                resp.sent_at
+            };
+            self.outstanding -= 1;
             let stats = &mut world.driver_mut().clients[self.id as usize];
             stats.completed_total += 1;
             if now >= measure_start {
                 stats.completed += 1;
-                stats.hist.record((now - resp.sent_at) / NANOS);
+                stats.hist.record((now - first_sent) / NANOS);
                 stats.payload_bytes += resp.wire_len() as u64;
                 if !resp.ok {
                     stats.not_found += 1;
@@ -137,6 +181,36 @@ impl<W: KvWorld> Process<W> for ClientProc {
         }
         if drained > 0 {
             ctx.compute_ns(15 * drained);
+        }
+        // Retransmit timed-out requests (bounded exponential backoff), or
+        // report them failed once the retry budget is spent.
+        let mut resent = 0;
+        if retry_on && !self.pending.is_empty() {
+            for seq in self.pending.due(now) {
+                resent += 1;
+                match self.pending.retransmit(seq, now, &self.retry) {
+                    Some((op, value, first_sent)) => {
+                        let req = Request {
+                            client: self.id,
+                            seq,
+                            op,
+                            value,
+                            sent_at: first_sent,
+                        };
+                        let wire = req.wire_len();
+                        let at = ctx.now();
+                        world.fabric_mut().client_send(at, wire, NetMsg::Req(req));
+                        ctx.compute_ns(30);
+                        world.driver_mut().clients[self.id as usize].retransmits += 1;
+                        ctx.machine().registry.counter_inc("client.retransmit");
+                    }
+                    None => {
+                        self.outstanding -= 1;
+                        world.driver_mut().clients[self.id as usize].failed += 1;
+                        ctx.machine().registry.counter_inc("client.failed");
+                    }
+                }
+            }
         }
         // Refill the pipeline.
         let mut sent = 0;
@@ -148,6 +222,10 @@ impl<W: KvWorld> Process<W> for ClientProc {
                 }
                 _ => None,
             };
+            if retry_on {
+                self.pending
+                    .on_send(self.next_seq, ctx.now(), &self.retry, op.clone(), value.clone());
+            }
             let req = Request {
                 client: self.id,
                 seq: self.next_seq,
@@ -160,14 +238,22 @@ impl<W: KvWorld> Process<W> for ClientProc {
             let now = ctx.now();
             world.fabric_mut().client_send(now, wire, NetMsg::Req(req));
             ctx.compute_ns(30);
+            world.driver_mut().clients[self.id as usize].issued += 1;
             self.outstanding += 1;
             sent += 1;
         }
-        if drained == 0 && sent == 0 {
+        if drained == 0 && sent == 0 && resent == 0 {
             // Pipeline full and nothing arrived: sleep until the next
-            // delivery to keep the event count down.
+            // delivery to keep the event count down — but never past the
+            // next retransmit deadline, or a fully-dropped pipeline would
+            // sleep forever. With no delivery in flight toward this client
+            // we keep polling; deadlines are still checked every step.
             if let Some(at) = world.fabric_mut().client_next_at(self.id as usize) {
-                ctx.advance_to(at);
+                let wake = match self.pending.next_deadline() {
+                    Some(dl) if retry_on => at.min(dl),
+                    _ => at,
+                };
+                ctx.advance_to(wake);
             }
         }
     }

@@ -297,8 +297,14 @@ impl CrMrQueue {
                 let first = lane.pushed - lane.ring.len() as u64;
                 let n = lane.ring.pop_batch(out, max);
                 if n > 0 {
-                    ctx.read(lane.ring.slot_addr(first as usize), DESC_BYTES * n);
+                    let slot = lane.ring.slot_addr(first as usize);
+                    ctx.read(slot, DESC_BYTES * n);
                     ctx.write(lane.ring.head_addr(), 8);
+                    // Injected corruption-detection event: the descriptor
+                    // CRC fails and the consumer must re-read the batch.
+                    if Self::corrupt_fired(ctx) {
+                        ctx.read(slot, DESC_BYTES * n);
+                    }
                 }
                 n
             }
@@ -307,10 +313,66 @@ impl CrMrQueue {
                     return 0;
                 }
                 ctx.compute_ps(DLB_PORT_PS);
-                lane.ring.pop_batch(out, max)
+                let n = lane.ring.pop_batch(out, max);
+                if n > 0 && Self::corrupt_fired(ctx) {
+                    // Device-side CRC failure: one extra dequeue doorbell.
+                    ctx.compute_ps(DLB_PORT_PS);
+                }
+                n
             }
             QueueKind::SharedMpmc => unreachable!("use pop_shared"),
         }
+    }
+
+    /// Draws the machine's corruption-detection fault for one popped batch
+    /// and counts it; detection costs are charged by the caller.
+    fn corrupt_fired(ctx: &mut Ctx<'_>) -> bool {
+        let m = ctx.machine();
+        if m.faults.corrupt_active() && m.faults.corrupt_pop() {
+            m.registry.counter_inc("crmr.corrupt");
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Producer side: revokes every descriptor still unpopped in lane
+    /// (`producer` → `consumer`) after a lease expiry, appending them to
+    /// `out` in push order. The producer re-reads the revoked slots and
+    /// rewinds its publish cursor; descriptors the consumer already popped
+    /// stay with the consumer, so a descriptor is never owned twice. In the
+    /// single-threaded simulation the pop-and-rewind pair is atomic — it
+    /// stands in for the lease handshake a concurrent port would need.
+    /// Shared mode has no per-consumer lane to reclaim: returns 0.
+    pub fn revoke_unpopped(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        producer: usize,
+        consumer: usize,
+        out: &mut Vec<Desc>,
+    ) -> usize {
+        if self.kind == QueueKind::SharedMpmc {
+            return 0;
+        }
+        let kind = self.kind;
+        let lane = self.lane_mut(producer, consumer);
+        let len = lane.ring.len();
+        if len == 0 {
+            return 0;
+        }
+        let first = lane.pushed - len as u64;
+        let n = lane.ring.pop_batch(out, len);
+        debug_assert_eq!(n, len, "revoke must drain the whole backlog");
+        lane.pushed -= n as u64;
+        match kind {
+            QueueKind::AllToAll => {
+                ctx.read(lane.ring.slot_addr(first as usize), DESC_BYTES * n);
+                ctx.atomic(lane.ring.tail_addr());
+            }
+            QueueKind::Dlb => ctx.compute_ps(DLB_PORT_PS),
+            QueueKind::SharedMpmc => unreachable!(),
+        }
+        n
     }
 
     /// Consumer side: signals that `n` more descriptors from this lane have
@@ -504,6 +566,41 @@ mod tests {
             q.pop_batch(ctx, 0, 1, &mut out, 2);
             assert_eq!(q.push_batch(ctx, 0, 1, &mut batch), 2);
         });
+    }
+
+    #[test]
+    fn revoke_reclaims_only_unpopped() {
+        let q = CrMrQueue::new(3, 16);
+        let ((), q) = with_queue(q, |ctx, q| {
+            let mut batch: Vec<Desc> = (0..5).map(|i| desc(i, i)).collect();
+            assert_eq!(q.push_batch(ctx, 0, 1, &mut batch), 5);
+            let mut popped = Vec::new();
+            assert_eq!(q.pop_batch(ctx, 0, 1, &mut popped, 2), 2);
+            // Lease expiry: the 3 unpopped descriptors come back; the 2
+            // popped ones stay with the (stalled) consumer.
+            let mut revoked = Vec::new();
+            assert_eq!(q.revoke_unpopped(ctx, 0, 1, &mut revoked), 3);
+            assert_eq!(
+                revoked.iter().map(|d| d.key).collect::<Vec<_>>(),
+                vec![2, 3, 4]
+            );
+            let mut rest = Vec::new();
+            assert_eq!(q.pop_batch(ctx, 0, 1, &mut rest, 10), 0);
+            // The popped prefix still completes normally and balances.
+            q.complete(ctx, 0, 1, 2);
+            assert_eq!(q.completed(ctx, 0, 1), 2);
+            // Revoked descriptors are re-forwarded to another consumer.
+            assert_eq!(q.push_batch(ctx, 0, 2, &mut revoked), 3);
+            let mut redo = Vec::new();
+            assert_eq!(q.pop_batch(ctx, 0, 2, &mut redo, 10), 3);
+            q.complete(ctx, 0, 2, 3);
+            // Empty revoke is a no-op.
+            let mut none = Vec::new();
+            assert_eq!(q.revoke_unpopped(ctx, 0, 1, &mut none), 0);
+        });
+        assert!(q.consumer_idle(1));
+        assert!(q.consumer_idle(2));
+        assert!(q.producer_idle(0), "lanes must balance after revoke");
     }
 
     #[test]

@@ -7,7 +7,7 @@
 use utps_index::IndexKind;
 use utps_sim::config::MachineConfig;
 use utps_sim::time::{SimTime, MICROS, SECS};
-use utps_sim::{Engine, StatClass};
+use utps_sim::{Engine, FaultConfig, FaultPlan, StatClass};
 use utps_workload::{
     DynamicWorkload, EtcWorkload, Mix, KeyDist, TwitterCluster, TwitterWorkload, Workload,
     YcsbWorkload,
@@ -16,6 +16,7 @@ use utps_workload::{
 use crate::client::{ClientProc, DriverState, SamplerProc};
 use crate::crmr::CrMrQueue;
 use crate::hotcache::HotCache;
+use crate::retry::{DedupTable, RetryConfig};
 use crate::rpc::{RecvRing, RespBuffers};
 use crate::server::{ServerConfig, UtpsWorker, UtpsWorld};
 use crate::store::KvStore;
@@ -167,6 +168,12 @@ pub struct RunConfig {
     pub queue_kind: crate::crmr::QueueKind,
     /// Throughput timeline sampling interval (ps; 0 = off).
     pub timeline_interval: u64,
+    /// Fault-injection plan (default: zero plan, byte-identical to no plan).
+    pub faults: FaultConfig,
+    /// Client-side timeout/retransmit policy (default: disabled).
+    pub retry: RetryConfig,
+    /// MR descriptor-lease duration in ps (0 = leases off).
+    pub lease_ps: u64,
 }
 
 impl Default for RunConfig {
@@ -199,6 +206,9 @@ impl Default for RunConfig {
             mr_ways: 0,
             queue_kind: crate::crmr::QueueKind::AllToAll,
             timeline_interval: 0,
+            faults: FaultConfig::default(),
+            retry: RetryConfig::disabled(),
+            lease_ps: 0,
         }
     }
 }
@@ -240,6 +250,16 @@ pub struct RunResult {
     pub reconfigs: usize,
     /// `ok=false` responses observed by clients post-warmup.
     pub not_found: u64,
+    /// Requests issued over the whole run (warmup + measurement).
+    pub issued: u64,
+    /// Responses completed over the whole run (warmup + measurement).
+    pub completed_total: u64,
+    /// Timed-out requests retransmitted by clients.
+    pub retransmits: u64,
+    /// Duplicate responses discarded by clients.
+    pub dup_resps: u64,
+    /// Requests abandoned after exhausting the retry budget.
+    pub failed: u64,
     /// Stage-level metrics snapshot at the end of the measured window
     /// (per-stage counters, latency histograms, occupancy high-water marks).
     pub stage_metrics: Option<utps_sim::MetricsSnapshot>,
@@ -265,6 +285,7 @@ pub fn run_utps_with_world(cfg: &RunConfig) -> (RunResult, UtpsWorld) {
         batch: cfg.batch,
         sample_every: cfg.sample_every,
         cache_enabled: cfg.cache_enabled,
+        lease_ps: cfg.lease_ps,
     };
     let world = UtpsWorld {
         fabric: utps_sim::Fabric::new(cfg.machine.net.clone(), cfg.clients),
@@ -282,10 +303,15 @@ pub fn run_utps_with_world(cfg: &RunConfig) -> (RunResult, UtpsWorld) {
         mr_ways: cfg.mr_ways,
         tuner_trace: Vec::new(),
         tuner_probes: Vec::new(),
+        dedup: DedupTable::new(
+            cfg.clients,
+            cfg.retry.enabled() || cfg.faults.net_active(),
+        ),
     };
 
     // Cores: one per worker plus one for the manager.
     let mut eng = Engine::new(cfg.machine.clone(), cfg.workers + 1, world);
+    eng.machine().faults = FaultPlan::new(cfg.faults.clone(), cfg.seed);
 
     // Static CLOS assignment when the tuner is off.
     if cfg.mr_ways > 0 {
@@ -319,7 +345,12 @@ pub fn run_utps_with_world(cfg: &RunConfig) -> (RunResult, UtpsWorld) {
         eng.spawn(
             None,
             StatClass::Other,
-            Box::new(ClientProc::new(c as u32, wl, cfg.pipeline)),
+            Box::new(ClientProc::with_retry(
+                c as u32,
+                wl,
+                cfg.pipeline,
+                cfg.retry.clone(),
+            )),
         );
     }
     if cfg.timeline_interval > 0 {
@@ -378,6 +409,7 @@ pub fn extract_result(cfg: &RunConfig, eng: &mut Engine<UtpsWorld>) -> RunResult
         for (name, v) in gauges {
             reg.gauge_set(name, v);
         }
+        pin_fault_counters(reg);
     }
     let snapshot = eng
         .machine()
@@ -414,8 +446,35 @@ pub fn extract_result(cfg: &RunConfig, eng: &mut Engine<UtpsWorld>) -> RunResult
         tuner_events: render_tuner_events(&world.tuner_trace),
         reconfigs: world.stats.reconfig_events.len(),
         not_found: d.clients.iter().map(|c| c.not_found).sum(),
+        issued: d.clients.iter().map(|c| c.issued).sum(),
+        completed_total: d.completed_total(),
+        retransmits: d.clients.iter().map(|c| c.retransmits).sum(),
+        dup_resps: d.clients.iter().map(|c| c.dup_resps).sum(),
+        failed: d.clients.iter().map(|c| c.failed).sum(),
         stage_metrics: Some(snapshot),
         tuner_probes: world.tuner_probes.clone(),
+    }
+}
+
+/// Ensures every fault/robustness counter exists in the registry (at its
+/// current value, or zero) so the `stats_json` schema is identical between
+/// faulty and fault-free runs.
+pub fn pin_fault_counters(reg: &mut utps_sim::MetricsRegistry) {
+    const NAMES: [&str; 11] = [
+        "fault.rx_drop",
+        "fault.rx_dup",
+        "fault.rx_delay",
+        "fault.stall_defer",
+        "crmr.corrupt",
+        "crmr.lease_reclaim",
+        "client.retransmit",
+        "client.dup_resp",
+        "client.failed",
+        "server.dup_suppressed",
+        "tuner.frozen_windows",
+    ];
+    for name in NAMES {
+        reg.counter_add(name, 0);
     }
 }
 
@@ -464,6 +523,11 @@ pub fn stats_json(r: &RunResult) -> String {
     s.push_str(&format!("\"final_mr_ways\":{},", r.final_mr_ways));
     s.push_str(&format!("\"reconfigs\":{},", r.reconfigs));
     s.push_str(&format!("\"not_found\":{},", r.not_found));
+    s.push_str(&format!("\"issued\":{},", r.issued));
+    s.push_str(&format!("\"completed_total\":{},", r.completed_total));
+    s.push_str(&format!("\"retransmits\":{},", r.retransmits));
+    s.push_str(&format!("\"dup_resps\":{},", r.dup_resps));
+    s.push_str(&format!("\"failed\":{},", r.failed));
     s.push_str(&format!(
         "\"tuner_probes\":{},",
         tuner_probes_json(&r.tuner_probes)

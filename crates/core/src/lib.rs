@@ -26,6 +26,7 @@ pub mod crmr;
 pub mod experiment;
 pub mod hotcache;
 pub mod msg;
+pub mod retry;
 pub mod rpc;
 pub mod server;
 pub mod store;

@@ -22,7 +22,7 @@
 
 use utps_sim::cache::CacheHierarchy;
 use utps_sim::time::SimTime;
-use utps_sim::{vaddr, Ctx, Fabric};
+use utps_sim::{vaddr, Ctx, Fabric, Machine, RecvFate};
 
 use crate::msg::{NetMsg, Request, Response};
 
@@ -128,23 +128,47 @@ impl RecvRing {
         Ok(seq)
     }
 
-    /// Drains up to `limit` arrived requests from the fabric into the ring.
-    /// Returns how many were DMAed.
+    /// Drains up to `limit` arrived requests from the fabric into the ring,
+    /// applying the machine's receive-path fault plan (drop / duplicate /
+    /// delay) to each polled request. Returns how many were DMAed.
     pub fn pump(
         &mut self,
-        cache: &mut CacheHierarchy,
+        m: &mut Machine,
         fabric: &mut Fabric<NetMsg>,
         now: SimTime,
         limit: usize,
     ) -> usize {
         let mut n = 0;
-        while n < limit {
+        // Dropped/delayed polls consume no ring slot; bound them separately
+        // so a lossy fabric cannot spin this loop unboundedly.
+        let mut polls = 0;
+        while n < limit && polls < limit * 4 {
             if !matches!(self.slots[self.idx(self.head)], SlotState::Free) {
                 break;
             }
             match fabric.server_poll(now) {
                 Some(NetMsg::Req(req)) => {
-                    self.try_dma(cache, req).expect("slot checked free");
+                    polls += 1;
+                    if m.faults.net_active() {
+                        match m.faults.recv_fate() {
+                            RecvFate::Drop => {
+                                m.registry.counter_inc("fault.rx_drop");
+                                continue;
+                            }
+                            RecvFate::Delay { delay } => {
+                                m.registry.counter_inc("fault.rx_delay");
+                                fabric.redeliver_server(now + delay, NetMsg::Req(req));
+                                continue;
+                            }
+                            RecvFate::Duplicate { delay } => {
+                                m.registry.counter_inc("fault.rx_dup");
+                                fabric.redeliver_server(now + delay, NetMsg::Req(req.clone()));
+                                // Fall through: the original is delivered now.
+                            }
+                            RecvFate::Deliver => {}
+                        }
+                    }
+                    self.try_dma(&mut m.cache, req).expect("slot checked free");
                     n += 1;
                 }
                 Some(NetMsg::Resp(_)) => unreachable!("server received a response"),
@@ -411,12 +435,12 @@ mod tests {
             // Nothing has arrived yet at t≈0.
             let now = ctx.now();
             let m = ctx.machine();
-            assert_eq!(w.ring.pump(&mut m.cache, &mut w.fabric, now, 16), 0);
+            assert_eq!(w.ring.pump(m, &mut w.fabric, now, 16), 0);
             // Well after the propagation delay, all three arrive.
             let later = SimTime::from_micros(50);
             ctx.advance_to(later);
             let m = ctx.machine();
-            assert_eq!(w.ring.pump(&mut m.cache, &mut w.fabric, later, 16), 3);
+            assert_eq!(w.ring.pump(m, &mut w.fabric, later, 16), 3);
             assert!(w.ring.is_posted(0) && w.ring.is_posted(1) && w.ring.is_posted(2));
             assert_eq!(w.ring.head(), 3);
         });

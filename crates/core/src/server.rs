@@ -33,6 +33,7 @@ use crate::client::{DriverState, KvWorld};
 use crate::crmr::{CrMrQueue, Desc};
 use crate::hotcache::HotCache;
 use crate::msg::{NetMsg, OpKind, Request, Response};
+use crate::retry::DedupTable;
 use crate::rpc::{send_response, RecvRing, RespBuffers};
 use crate::store::{KvOp, KvOpOutput, KvStore, OpBuffers};
 
@@ -49,6 +50,10 @@ pub struct ServerConfig {
     pub sample_every: u32,
     /// Whether the hot cache is active.
     pub cache_enabled: bool,
+    /// Descriptor lease in picoseconds: a lane showing no completion
+    /// progress for this long has its unpopped backlog reclaimed and
+    /// re-forwarded to another MR worker. 0 disables leases (seed behavior).
+    pub lease_ps: u64,
 }
 
 impl ServerConfig {
@@ -115,6 +120,8 @@ pub struct UtpsWorld {
     /// Auto-tuner decision log: every trisection probe (§3.5), mirrored here
     /// from [`crate::tuner::Tuner::decision_log`] so runs can export it.
     pub tuner_probes: Vec<crate::tuner::TunerProbe>,
+    /// Exactly-once filter for retransmitted writes (see [`crate::retry`]).
+    pub dedup: DedupTable,
 }
 
 impl KvWorld for UtpsWorld {
@@ -194,6 +201,9 @@ struct CrState {
     sample_ctr: u32,
     /// True when this worker is draining to move to the MR layer.
     draining: bool,
+    /// Per-lane descriptor-lease deadline: a lane with pending work past
+    /// this time has its unpopped backlog revoked (see `cr_check_leases`).
+    lease_at: Vec<SimTime>,
 }
 
 impl CrState {
@@ -211,6 +221,7 @@ impl CrState {
             local: None,
             sample_ctr: 0,
             draining: false,
+            lease_at: vec![SimTime::ZERO; workers],
         }
     }
 
@@ -227,6 +238,7 @@ impl CrState {
             local: None,
             sample_ctr: 0,
             draining: false,
+            lease_at: vec![SimTime::ZERO; workers],
         }
     }
 
@@ -367,7 +379,7 @@ impl UtpsWorker {
                 let target = mr_lo + st.mr_rr % n_mr;
                 st.out[target].push(d);
                 if st.out[target].len() >= world.cfg.batch {
-                    Self::push_lane(st, ctx, &mut world.crmr, id, target);
+                    Self::push_lane(st, ctx, &mut world.crmr, id, target, world.cfg.lease_ps);
                     st.mr_rr = (st.mr_rr + 1) % n_mr;
                 }
             }
@@ -380,11 +392,16 @@ impl UtpsWorker {
         {
             let now = ctx.now();
             let m = ctx.machine();
-            world.ring.pump(&mut m.cache, &mut world.fabric, now, 8);
+            world.ring.pump(m, &mut world.fabric, now, 8);
         }
 
         // 3. Poll one lane's completion counter; send finished responses.
         self.cr_poll_completions(ctx, world, 8);
+
+        // 3b. Reclaim descriptor batches whose lease has expired.
+        if world.cfg.lease_ps > 0 {
+            self.cr_check_leases(ctx, world);
+        }
         let st = match &mut self.role {
             Role::Cr(st) => st,
             Role::Mr(_) => unreachable!(),
@@ -424,7 +441,9 @@ impl UtpsWorker {
                 Role::Mr(_) => unreachable!(),
             };
             for t in mr_lo..world.cfg.workers {
-                if !st.out[t].is_empty() && Self::push_lane(st, ctx, &mut world.crmr, id, t) > 0 {
+                if !st.out[t].is_empty()
+                    && Self::push_lane(st, ctx, &mut world.crmr, id, t, world.cfg.lease_ps) > 0
+                {
                     break;
                 }
             }
@@ -437,13 +456,15 @@ impl UtpsWorker {
     }
 
     /// Pushes the accumulated batch for lane `target`, recording accepted
-    /// seqs in the per-lane completion FIFO. Returns how many were accepted.
+    /// seqs in the per-lane completion FIFO and arming the lane's
+    /// descriptor lease. Returns how many were accepted.
     fn push_lane(
         st: &mut CrState,
         ctx: &mut Ctx<'_>,
         crmr: &mut CrMrQueue,
         id: usize,
         target: usize,
+        lease_ps: u64,
     ) -> usize {
         let mut batch = core::mem::take(&mut st.out[target]);
         let accepted_seqs: Vec<u64> = batch.iter().map(|d| d.seq).collect();
@@ -451,8 +472,67 @@ impl UtpsWorker {
         for &seq in &accepted_seqs[..pushed] {
             st.pending[target].push_back(seq);
         }
+        if pushed > 0 && lease_ps > 0 {
+            st.lease_at[target] = ctx.now() + lease_ps;
+        }
         st.out[target] = batch;
         pushed
+    }
+
+    /// Reclaims descriptor batches whose lease expired: a lane with pending
+    /// work and no completion progress for `lease_ps` has its *unpopped*
+    /// backlog revoked and re-forwarded to the other MR workers, so a
+    /// stalled consumer delays only the batch it already popped.
+    fn cr_check_leases(&mut self, ctx: &mut Ctx<'_>, world: &mut UtpsWorld) {
+        let lease = world.cfg.lease_ps;
+        if lease == 0 || world.crmr.is_shared() {
+            return;
+        }
+        let id = self.id;
+        let mr_lo = world.mr_lo();
+        let n_mr = world.cfg.workers - mr_lo;
+        if n_mr < 2 {
+            return; // no other worker to hand the backlog to
+        }
+        let workers = world.cfg.workers;
+        let now = ctx.now();
+        let st = match &mut self.role {
+            Role::Cr(st) => st,
+            Role::Mr(_) => unreachable!(),
+        };
+        for t in 0..workers {
+            if st.pending[t].is_empty() || now <= st.lease_at[t] {
+                continue;
+            }
+            let mut revoked: Vec<Desc> = Vec::new();
+            let got = world.crmr.revoke_unpopped(ctx, id, t, &mut revoked);
+            // Re-arm regardless: the already-popped prefix stays with the
+            // consumer and must not re-trigger every step.
+            st.lease_at[t] = now + lease;
+            if got == 0 {
+                continue;
+            }
+            for _ in 0..got {
+                st.pending[t].pop_back().expect("revoked more than pending");
+            }
+            ctx.machine()
+                .registry
+                .counter_add("crmr.lease_reclaim", got as u64);
+            for d in revoked {
+                let mut target = mr_lo + st.mr_rr % n_mr;
+                if target == t {
+                    st.mr_rr = (st.mr_rr + 1) % n_mr;
+                    target = mr_lo + st.mr_rr % n_mr;
+                }
+                st.out[target].push(d);
+                st.mr_rr = (st.mr_rr + 1) % n_mr;
+            }
+            for tt in mr_lo..workers {
+                if tt != t && !st.out[tt].is_empty() {
+                    Self::push_lane(st, ctx, &mut world.crmr, id, tt, lease);
+                }
+            }
+        }
     }
 
     /// Processes one claimed receive slot.
@@ -465,9 +545,33 @@ impl UtpsWorker {
         let started = ctx.now();
         let req = world.ring.claim(ctx, seq);
         ctx.stage_transitions(1);
+        let client = req.client;
+        let client_seq = req.seq;
         let op = req.op.clone();
         let key = op.key();
         let value = req.value.clone();
+
+        // Sequence-number dedup: a retransmitted write whose original
+        // already completed must not execute again — answer it again
+        // instead (reads are idempotent and simply re-execute).
+        if world.dedup.enabled()
+            && matches!(op, Op::Put { .. } | Op::Delete { .. })
+            && world.dedup.seen(client, client_seq)
+        {
+            ctx.machine().registry.counter_inc("server.dup_suppressed");
+            let resp_addr = world.resp.addr_for(id, seq);
+            let out = KvOpOutput {
+                ok: true,
+                value: None,
+                scan_count: 0,
+                payload: 0,
+            };
+            let resp = Self::build_response(world.ring.request(seq), out, resp_addr);
+            world.ring.abort(seq);
+            world.stats.responses += 1;
+            send_response(ctx, &mut world.fabric, resp_addr, resp);
+            return;
+        }
 
         // Sampling for the hot-set tracker.
         st.sample_ctr += 1;
@@ -599,6 +703,7 @@ impl UtpsWorker {
         let resp = Self::build_response(world.ring.request(seq), out, resp_addr);
         world.ring.abort(seq);
         world.stats.responses += 1;
+        world.dedup.record(resp.client, resp.seq);
         let hit_ns = ctx.now().since(started) / utps_sim::time::NANOS;
         let reg = &mut ctx.machine().registry;
         reg.counter_inc("cr.response");
@@ -645,7 +750,7 @@ impl UtpsWorker {
         let target = mr_lo + st.mr_rr % n_mr;
         st.out[target].push(desc);
         if st.out[target].len() >= world.cfg.batch {
-            Self::push_lane(st, ctx, &mut world.crmr, id, target);
+            Self::push_lane(st, ctx, &mut world.crmr, id, target, world.cfg.lease_ps);
             st.mr_rr = (st.mr_rr + 1) % n_mr;
         }
     }
@@ -661,6 +766,7 @@ impl UtpsWorker {
                 let resp = world.ring.release(seq);
                 let resp_addr = resp.resp_addr;
                 world.stats.responses += 1;
+                world.dedup.record(resp.client, resp.seq);
                 ctx.machine().registry.counter_inc("cr.response");
                 send_response(ctx, &mut world.fabric, resp_addr, resp);
             }
@@ -693,8 +799,13 @@ impl UtpsWorker {
             let resp = world.ring.release(seq);
             let resp_addr = resp.resp_addr;
             world.stats.responses += 1;
+            world.dedup.record(resp.client, resp.seq);
             ctx.machine().registry.counter_inc("cr.response");
             send_response(ctx, &mut world.fabric, resp_addr, resp);
+        }
+        // Completion progress renews the lane's descriptor lease.
+        if sent > 0 && world.cfg.lease_ps > 0 {
+            st.lease_at[t] = ctx.now() + world.cfg.lease_ps;
         }
     }
 
@@ -721,7 +832,7 @@ impl UtpsWorker {
             }
             for t in mr_lo..world.cfg.workers {
                 if !st.out[t].is_empty() {
-                    Self::push_lane(st, ctx, &mut world.crmr, id, t);
+                    Self::push_lane(st, ctx, &mut world.crmr, id, t, world.cfg.lease_ps);
                 }
             }
         }

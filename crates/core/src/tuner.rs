@@ -250,6 +250,8 @@ pub struct Tuner {
     last_total: u64,
     ewma: f64,
     deviant: u32,
+    /// Fault-event count at the last window boundary (freeze guard).
+    last_fault_events: u64,
     /// Total single-window measurements taken by searches.
     pub measurements: u64,
     /// Structured log of every trisection probe (cleared only by the owner).
@@ -267,6 +269,7 @@ impl Tuner {
             last_total: 0,
             ewma: 0.0,
             deviant: 0,
+            last_fault_events: 0,
             measurements: 0,
             decision_log: Vec::new(),
         }
@@ -319,6 +322,15 @@ impl Tuner {
         let tp = (total - self.last_total) as f64;
         self.last_total = total;
         self.window_end = now + self.params.window;
+        // Freeze guard: a window disturbed by injected faults (drops, stalls,
+        // corruption) must not trigger reconfiguration — the throughput dip
+        // is the disturbance, not a workload shift, and reassigning threads
+        // mid-storm would compound it (§3.5's reassignment is reserved for
+        // genuine shifts).
+        let fault_events = ctx.machine().faults.events();
+        let disturbed = fault_events > self.last_fault_events
+            || ctx.machine().faults.stall_active(now);
+        self.last_fault_events = fault_events;
         let mut start = false;
         match &mut self.state {
             TState::Warmup(left) => {
@@ -329,23 +341,30 @@ impl Tuner {
                 }
             }
             TState::Monitor => {
-                let dev = if self.ewma > 0.0 {
-                    (tp - self.ewma).abs() / self.ewma
-                } else {
-                    0.0
-                };
-                if dev > self.params.trigger {
-                    self.deviant += 1;
-                } else {
+                if disturbed {
                     self.deviant = 0;
-                    self.ewma = 0.7 * self.ewma + 0.3 * tp;
-                }
-                if self.deviant >= self.params.trigger_windows {
-                    self.deviant = 0;
-                    start = true;
+                } else {
+                    let dev = if self.ewma > 0.0 {
+                        (tp - self.ewma).abs() / self.ewma
+                    } else {
+                        0.0
+                    };
+                    if dev > self.params.trigger {
+                        self.deviant += 1;
+                    } else {
+                        self.deviant = 0;
+                        self.ewma = 0.7 * self.ewma + 0.3 * tp;
+                    }
+                    if self.deviant >= self.params.trigger_windows {
+                        self.deviant = 0;
+                        start = true;
+                    }
                 }
             }
             TState::Search(_) => unreachable!(),
+        }
+        if disturbed {
+            ctx.machine().registry.counter_inc("tuner.frozen_windows");
         }
         if start {
             self.start_search(now, world);

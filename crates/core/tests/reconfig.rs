@@ -37,6 +37,7 @@ fn build_engine(workers: usize, n_cr: usize) -> (Engine<UtpsWorld>, RunConfig) {
         batch: cfg.batch,
         sample_every: cfg.sample_every,
         cache_enabled: true,
+        lease_ps: 0,
     };
     let world = UtpsWorld {
         fabric: utps_sim::Fabric::new(cfg.machine.net.clone(), cfg.clients),
@@ -54,6 +55,7 @@ fn build_engine(workers: usize, n_cr: usize) -> (Engine<UtpsWorld>, RunConfig) {
         mr_ways: 0,
         tuner_trace: Vec::new(),
         tuner_probes: Vec::new(),
+        dedup: utps_core::retry::DedupTable::new(cfg.clients, false),
     };
     let mut eng = Engine::new(cfg.machine.clone(), cfg.workers + 1, world);
     for id in 0..cfg.workers {

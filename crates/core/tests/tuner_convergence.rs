@@ -37,6 +37,7 @@ fn build_world() -> UtpsWorld {
         batch: 8,
         sample_every: 8,
         cache_enabled: false,
+        lease_ps: 0,
     };
     UtpsWorld {
         fabric: utps_sim::Fabric::new(MachineConfig::tiny().net, 1),
@@ -54,6 +55,7 @@ fn build_world() -> UtpsWorld {
         mr_ways: 0,
         tuner_trace: Vec::new(),
         tuner_probes: Vec::new(),
+        dedup: utps_core::retry::DedupTable::new(1, false),
     }
 }
 

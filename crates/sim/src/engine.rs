@@ -48,6 +48,8 @@ pub struct Machine {
     /// Named per-stage instruments (counters, gauges, latency histograms)
     /// any process can record into; see [`crate::metrics::MetricsRegistry`].
     pub registry: crate::metrics::MetricsRegistry,
+    /// Active fault plan; the zero plan by default. See [`crate::fault`].
+    pub faults: crate::fault::FaultPlan,
 }
 
 impl Machine {
@@ -57,6 +59,7 @@ impl Machine {
             cache: CacheHierarchy::new(&cfg, cores),
             cfg,
             registry: crate::metrics::MetricsRegistry::new(),
+            faults: crate::fault::FaultPlan::inactive(),
         }
     }
 }
@@ -280,6 +283,21 @@ impl<W> Engine<W> {
                 None => continue,
             };
             debug_assert_eq!(entry.clock, t);
+            // A core inside a stall window executes nothing: defer its next
+            // step to the window end. Guarded so fault-free runs never pay
+            // for the check beyond one branch.
+            if self.machine.faults.has_stalls() {
+                if let Some(core) = entry.core {
+                    if let Some(end) = self.machine.faults.stall_until(core, t) {
+                        self.machine.faults.note_stall_defer();
+                        self.machine.registry.counter_inc("fault.stall_defer");
+                        entry.clock = end;
+                        self.heap.push(Reverse((end, pid)));
+                        self.procs[pid] = Some(entry);
+                        continue;
+                    }
+                }
+            }
             let mut ctx = Ctx {
                 machine: &mut self.machine,
                 pid,

@@ -26,6 +26,7 @@ pub mod arena;
 pub mod cache;
 pub mod config;
 pub mod engine;
+pub mod fault;
 pub mod hashutil;
 pub mod lock;
 pub mod metrics;
@@ -37,6 +38,7 @@ pub use arena::Arena;
 pub use cache::{CacheHierarchy, StatClass};
 pub use config::{CacheConfig, CostConfig, MachineConfig, NetConfig};
 pub use engine::{Ctx, Engine, Machine, ProcId, Process};
+pub use fault::{FaultConfig, FaultPlan, RecvFate, StallWindow};
 pub use nic::{DelayQueue, Fabric, Pipe};
 pub use lock::{OptLock, SimLock, VersionSeqLock};
 pub use metrics::{AccessKind, Metrics, MetricsRegistry, MetricsSnapshot};

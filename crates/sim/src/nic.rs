@@ -191,6 +191,13 @@ impl<M> Fabric<M> {
         self.server_rx.pop_ready(now)
     }
 
+    /// Re-enqueues `msg` into the server receive queue for delivery at `at`
+    /// without charging a fresh wire transit. Fault injection uses this for
+    /// duplicated and delayed deliveries.
+    pub fn redeliver_server(&mut self, at: SimTime, msg: M) {
+        self.server_rx.push_at(at, msg);
+    }
+
     /// Whether a request is waiting at the server RNIC.
     pub fn server_has_ready(&self, now: SimTime) -> bool {
         self.server_rx.has_ready(now)

@@ -55,9 +55,11 @@ pub use utps_workload as workload;
 pub mod prelude {
     pub use utps_baselines::run;
     pub use utps_core::experiment::{run_utps, RunConfig, RunResult, SystemKind, WorkloadSpec};
+    pub use utps_core::retry::RetryConfig;
     pub use utps_core::tuner::{TunerMode, TunerParams};
     pub use utps_core::KvStore;
     pub use utps_index::IndexKind;
     pub use utps_sim::config::MachineConfig;
+    pub use utps_sim::{FaultConfig, StallWindow};
     pub use utps_workload::{Mix, TwitterCluster};
 }
