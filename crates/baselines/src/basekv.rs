@@ -8,17 +8,21 @@
 //! node lines bounce between cores under skew, and the worker's index/data
 //! accesses evict its own network-buffer lines from the LLC — the two
 //! effects μTPS's layer split removes.
+//!
+//! On the stage engine, BaseKV is the degenerate composition: one
+//! run-to-completion [`Stage`] per worker, never handing off.
 
-use utps_core::client::{ClientProc, DriverState, KvWorld};
+use utps_core::client::{DriverState, KvWorld};
 use utps_core::experiment::{RunConfig, RunResult};
-use utps_core::msg::NetMsg;
+use utps_core::msg::{NetMsg, OpKind};
 use utps_core::retry::DedupTable;
 use utps_core::rpc::{send_response, RecvRing, RespBuffers};
+use utps_core::stage::{Stage, StepOutcome};
 use utps_core::store::{KvOp, KvStore, OpBuffers};
 use utps_index::Step;
 use utps_sim::nic::Fabric;
 use utps_sim::time::SimTime;
-use utps_sim::{Ctx, Engine, FaultPlan, Process, StatClass};
+use utps_sim::{Ctx, StatClass};
 use utps_workload::Op;
 
 /// BaseKV server world.
@@ -56,7 +60,7 @@ struct ActiveOp {
     op: KvOp,
 }
 
-/// A run-to-completion worker.
+/// A run-to-completion worker: the whole request pipeline as one stage.
 pub struct BaseWorker {
     id: usize,
     cursor: u64,
@@ -75,27 +79,32 @@ impl BaseWorker {
         }
     }
 
-    fn build_op(world: &BaseWorld, id: usize, seq: u64) -> ActiveOp {
-        let req = world.ring.request(seq);
+    fn build_op(ctx: &mut Ctx<'_>, world: &mut BaseWorld, id: usize, seq: u64) -> ActiveOp {
         let bufs = OpBuffers {
             recv_addr: world.ring.slot_addr(seq),
             resp_addr: world.resp.addr_for(id, seq),
         };
-        let op = match &req.op {
-            Op::Get { key } => KvOp::get(&world.store, *key, bufs),
-            Op::Put { key, .. } => {
-                let value = req.value.clone().expect("put without payload");
-                KvOp::put(&world.store, *key, value, bufs)
-            }
-            Op::Scan { key, count } => KvOp::scan(&world.store, *key, *count, Vec::new(), bufs),
-            Op::Delete { key } => KvOp::delete(&world.store, *key, bufs),
+        let op = match world.ring.request(seq).op.clone() {
+            Op::Get { key } => KvOp::get(&world.store, key, bufs),
+            // The payload is *moved* out of the receive slot's arena
+            // handle, never copied; a PUT without one is a protocol error.
+            Op::Put { key, .. } => match world.ring.take_value(seq) {
+                Some(v) => {
+                    let value = ctx.machine().payloads.take(v);
+                    KvOp::put(&world.store, key, value, bufs)
+                }
+                None => {
+                    ctx.machine().registry.counter_inc("server.malformed_req");
+                    KvOp::failed(OpKind::Put, key, bufs)
+                }
+            },
+            Op::Scan { key, count } => KvOp::scan(&world.store, key, count, Vec::new(), bufs),
+            Op::Delete { key } => KvOp::delete(&world.store, key, bufs),
         };
         ActiveOp { seq, op }
     }
-}
 
-impl Process<BaseWorld> for BaseWorker {
-    fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut BaseWorld) {
+    fn run(&mut self, ctx: &mut Ctx<'_>, world: &mut BaseWorld) {
         // Fill the batch: pump the NIC and claim owned slots.
         if self.ops.is_empty() {
             {
@@ -123,6 +132,10 @@ impl Process<BaseWorld> for BaseWorker {
                 };
                 if is_mutation && world.dedup.enabled() && world.dedup.seen(rc, rs) {
                     ctx.machine().registry.counter_inc("server.dup_suppressed");
+                    // The suppressed write's payload is never consumed.
+                    if let Some(v) = world.ring.take_value(seq) {
+                        ctx.machine().payloads.free(v);
+                    }
                     let resp = utps_core::msg::Response {
                         client: rc,
                         seq: rs,
@@ -139,7 +152,8 @@ impl Process<BaseWorld> for BaseWorker {
                     send_response(ctx, &mut world.fabric, resp_addr, resp);
                     continue;
                 }
-                self.ops.push(Self::build_op(world, self.id, seq));
+                let op = Self::build_op(ctx, world, self.id, seq);
+                self.ops.push(op);
             }
             return;
         }
@@ -182,9 +196,20 @@ impl Process<BaseWorld> for BaseWorker {
             }
         }
     }
+}
+
+impl Stage<BaseWorld> for BaseWorker {
+    fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut BaseWorld) -> StepOutcome {
+        self.run(ctx, world);
+        if ctx.progressed() {
+            StepOutcome::Progress
+        } else {
+            StepOutcome::Idle
+        }
+    }
 
     fn name(&self) -> &'static str {
-        "basekv-worker"
+        "basekv-rtc"
     }
 }
 
@@ -201,51 +226,27 @@ pub fn run_basekv_opts(cfg: &RunConfig, isolate_ddio: bool) -> RunResult {
         workers: cfg.workers,
         driver: DriverState::new(cfg.clients, SimTime(cfg.warmup)),
         responses: 0,
-        dedup: DedupTable::new(
-            cfg.clients,
-            cfg.retry.enabled() || cfg.faults.net_active(),
-        ),
+        dedup: DedupTable::new(cfg.clients, cfg.retry.enabled() || cfg.faults.net_active()),
     };
-    let mut eng = Engine::new(cfg.machine.clone(), cfg.workers, world);
-    eng.machine().faults = FaultPlan::new(cfg.faults.clone(), cfg.seed);
-    if isolate_ddio {
-        let full = eng.machine().cache.full_mask();
-        let ddio = eng.machine().cache.ddio_mask();
-        for w in 0..cfg.workers {
-            eng.machine().cache.set_clos_mask(w, full & !ddio);
-        }
-    }
-    for id in 0..cfg.workers {
-        eng.spawn(
-            Some(id),
-            StatClass::Other,
-            Box::new(BaseWorker::new(id, cfg.batch)),
-        );
-    }
-    for c in 0..cfg.clients {
-        let wl = cfg.workload.build(cfg.keys, cfg.seed, c as u64);
-        eng.spawn(
-            None,
-            StatClass::Other,
-            Box::new(ClientProc::with_retry(
-                c as u32,
-                wl,
-                cfg.pipeline,
-                cfg.retry.clone(),
-            )),
-        );
-    }
-    if cfg.timeline_interval > 0 {
-        eng.spawn(
-            None,
-            StatClass::Other,
-            Box::new(utps_core::client::SamplerProc::new(cfg.timeline_interval)),
-        );
-    }
-    eng.run_until(SimTime(cfg.warmup));
-    eng.machine().cache.metrics.reset();
-    eng.run_until(SimTime(cfg.warmup + cfg.duration));
-    crate::run::result_from_driver(cfg, &mut eng, |w| &w.driver)
+    crate::run::run_pipeline(
+        cfg,
+        cfg.workers,
+        world,
+        |rt| {
+            if isolate_ddio {
+                let full = rt.machine().cache.full_mask();
+                let ddio = rt.machine().cache.ddio_mask();
+                for w in 0..cfg.workers {
+                    rt.machine().cache.set_clos_mask(w, full & !ddio);
+                }
+            }
+            for id in 0..cfg.workers {
+                rt.spawn_stage(Some(id), StatClass::Other, BaseWorker::new(id, cfg.batch));
+            }
+            rt.spawn_clients(cfg);
+        },
+        |w| &w.driver,
+    )
 }
 
 /// Runs BaseKV under `cfg`.

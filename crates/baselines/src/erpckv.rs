@@ -11,16 +11,21 @@
 //!   no lock contention or coherence traffic ever arises on its items, but
 //!   skewed workloads overload the shard holding the hot keys while other
 //!   workers idle — the imbalance the paper measures.
+//!
+//! On the stage engine, eRPCKV is a dispatch stage (the NIC-side
+//! [`ErpcWorld::route`], free for the CPUs) fused into each shard's
+//! run-to-completion [`Stage`].
 
-use utps_core::client::{ClientProc, DriverState, KvWorld, SamplerProc};
+use utps_core::client::{DriverState, KvWorld};
 use utps_core::experiment::{RunConfig, RunResult};
-use utps_core::msg::{NetMsg, Request, Response};
+use utps_core::msg::{NetMsg, OpKind, Response};
 use utps_core::rpc::{send_response, RecvRing, RespBuffers};
+use utps_core::stage::{Stage, StepOutcome};
 use utps_core::store::{KvOp, KvStore, OpBuffers};
 use utps_index::Step;
 use utps_sim::nic::Fabric;
 use utps_sim::time::SimTime;
-use utps_sim::{Ctx, Engine, FaultPlan, Machine, Process, RecvFate, StatClass};
+use utps_sim::{Ctx, Machine, RecvFate, StatClass};
 use utps_workload::Op;
 
 /// eRPC worker buffer budget (the paper: "15-MB buffer per worker thread").
@@ -39,7 +44,7 @@ pub struct ErpcWorld {
     /// Worker count.
     pub workers: usize,
     /// Requests the router could not place yet (target ring full).
-    pub overflow: std::collections::VecDeque<Request>,
+    pub overflow: std::collections::VecDeque<utps_core::msg::Request>,
     /// Driver state.
     pub driver: DriverState,
 }
@@ -59,7 +64,9 @@ impl ErpcWorld {
     /// Free for the CPUs (clients address worker QPs directly).
     ///
     /// Receive-side fault fates (drop / duplicate / delay) apply to fresh
-    /// fabric arrivals only — overflow retries already "arrived" once.
+    /// fabric arrivals only — overflow retries already "arrived" once. A
+    /// dropped request's payload is reclaimed; a duplicated one gets a deep
+    /// copy so each delivery owns its bytes (the one sanctioned copy).
     fn route(&mut self, m: &mut Machine, now: SimTime, limit: usize) {
         let mut moved = 0;
         let mut polls = 0;
@@ -75,20 +82,21 @@ impl ErpcWorld {
                                 match m.faults.recv_fate() {
                                     RecvFate::Drop => {
                                         m.registry.counter_inc("fault.rx_drop");
+                                        if let Some(v) = r.value {
+                                            m.payloads.free(v);
+                                        }
                                         continue;
                                     }
                                     RecvFate::Delay { delay } => {
                                         m.registry.counter_inc("fault.rx_delay");
-                                        self.fabric
-                                            .redeliver_server(now + delay, NetMsg::Req(r));
+                                        self.fabric.redeliver_server(now + delay, NetMsg::Req(r));
                                         continue;
                                     }
                                     RecvFate::Duplicate { delay } => {
                                         m.registry.counter_inc("fault.rx_dup");
-                                        self.fabric.redeliver_server(
-                                            now + delay,
-                                            NetMsg::Req(r.clone()),
-                                        );
+                                        let mut dup = r.clone();
+                                        dup.value = dup.value.map(|v| m.payloads.dup(v));
+                                        self.fabric.redeliver_server(now + delay, NetMsg::Req(dup));
                                         r
                                     }
                                     RecvFate::Deliver => r,
@@ -119,7 +127,8 @@ struct ActiveOp {
     op: KvOp,
 }
 
-/// A share-nothing eRPC worker.
+/// A share-nothing shard stage: NIC dispatch fused with run-to-completion
+/// execution over the worker's exclusive key shard.
 pub struct ErpcWorker {
     id: usize,
     cursor: u64,
@@ -137,10 +146,32 @@ impl ErpcWorker {
             ops: Vec::new(),
         }
     }
-}
 
-impl Process<ErpcWorld> for ErpcWorker {
-    fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut ErpcWorld) {
+    fn build_op(&self, ctx: &mut Ctx<'_>, world: &mut ErpcWorld, seq: u64) -> ActiveOp {
+        let bufs = OpBuffers {
+            recv_addr: world.rings[self.id].slot_addr(seq),
+            resp_addr: world.resp.addr_for(self.id, seq),
+        };
+        let op = match world.rings[self.id].request(seq).op.clone() {
+            Op::Get { key } => KvOp::get(&world.store, key, bufs),
+            // Move the payload handle out of the slot — no copy.
+            Op::Put { key, .. } => match world.rings[self.id].take_value(seq) {
+                Some(v) => {
+                    let value = ctx.machine().payloads.take(v);
+                    KvOp::put(&world.store, key, value, bufs)
+                }
+                None => {
+                    ctx.machine().registry.counter_inc("server.malformed_req");
+                    KvOp::failed(OpKind::Put, key, bufs)
+                }
+            },
+            Op::Scan { key, count } => KvOp::scan(&world.store, key, count, Vec::new(), bufs),
+            Op::Delete { key } => KvOp::delete(&world.store, key, bufs),
+        };
+        ActiveOp { seq, op }
+    }
+
+    fn run(&mut self, ctx: &mut Ctx<'_>, world: &mut ErpcWorld) {
         if self.ops.is_empty() {
             {
                 let now = ctx.now();
@@ -152,23 +183,8 @@ impl Process<ErpcWorld> for ErpcWorker {
                 world.rings[self.id].claim(ctx, seq);
                 // Monolithic loop: same front-end churn as BaseKV.
                 ctx.stage_transitions(3);
-                let req = world.rings[self.id].request(seq);
-                let bufs = OpBuffers {
-                    recv_addr: world.rings[self.id].slot_addr(seq),
-                    resp_addr: world.resp.addr_for(self.id, seq),
-                };
-                let op = match &req.op {
-                    Op::Get { key } => KvOp::get(&world.store, *key, bufs),
-                    Op::Put { key, .. } => {
-                        let value = req.value.clone().expect("put without payload");
-                        KvOp::put(&world.store, *key, value, bufs)
-                    }
-                    Op::Scan { key, count } => {
-                        KvOp::scan(&world.store, *key, *count, Vec::new(), bufs)
-                    }
-                    Op::Delete { key } => KvOp::delete(&world.store, *key, bufs),
-                };
-                self.ops.push(ActiveOp { seq, op });
+                let op = self.build_op(ctx, world, seq);
+                self.ops.push(op);
             }
             return;
         }
@@ -205,9 +221,20 @@ impl Process<ErpcWorld> for ErpcWorker {
             }
         }
     }
+}
+
+impl Stage<ErpcWorld> for ErpcWorker {
+    fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut ErpcWorld) -> StepOutcome {
+        self.run(ctx, world);
+        if ctx.progressed() {
+            StepOutcome::Progress
+        } else {
+            StepOutcome::Idle
+        }
+    }
 
     fn name(&self) -> &'static str {
-        "erpc-worker"
+        "erpc-shard"
     }
 }
 
@@ -234,35 +261,18 @@ pub fn run_erpckv(cfg: &RunConfig) -> RunResult {
         overflow: Default::default(),
         driver: DriverState::new(cfg.clients, SimTime(cfg.warmup)),
     };
-    let mut eng = Engine::new(cfg.machine.clone(), cfg.workers, world);
-    eng.machine().faults = FaultPlan::new(cfg.faults.clone(), cfg.seed);
-    for id in 0..cfg.workers {
-        eng.spawn(
-            Some(id),
-            StatClass::Other,
-            Box::new(ErpcWorker::new(id, cfg.batch)),
-        );
-    }
-    for c in 0..cfg.clients {
-        let wl = cfg.workload.build(cfg.keys, cfg.seed, c as u64);
-        eng.spawn(
-            None,
-            StatClass::Other,
-            Box::new(ClientProc::with_retry(
-                c as u32,
-                wl,
-                cfg.pipeline,
-                cfg.retry.clone(),
-            )),
-        );
-    }
-    if cfg.timeline_interval > 0 {
-        eng.spawn(None, StatClass::Other, Box::new(SamplerProc::new(cfg.timeline_interval)));
-    }
-    eng.run_until(SimTime(cfg.warmup));
-    eng.machine().cache.metrics.reset();
-    eng.run_until(SimTime(cfg.warmup + cfg.duration));
-    crate::run::result_from_driver(cfg, &mut eng, |w| &w.driver)
+    crate::run::run_pipeline(
+        cfg,
+        cfg.workers,
+        world,
+        |rt| {
+            for id in 0..cfg.workers {
+                rt.spawn_stage(Some(id), StatClass::Other, ErpcWorker::new(id, cfg.batch));
+            }
+            rt.spawn_clients(cfg);
+        },
+        |w| &w.driver,
+    )
 }
 
 #[cfg(test)]
@@ -307,6 +317,10 @@ mod tests {
             ..quick_cfg()
         };
         let r = run_erpckv(&cfg);
-        assert!(r.completed > 1_000, "uniform should be fast: {}", r.completed);
+        assert!(
+            r.completed > 1_000,
+            "uniform should be fast: {}",
+            r.completed
+        );
     }
 }

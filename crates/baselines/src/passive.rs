@@ -26,7 +26,7 @@ use utps_core::store::KvStore;
 use utps_index::Index;
 use utps_sim::nic::Fabric;
 use utps_sim::time::{SimTime, NANOS};
-use utps_sim::{Ctx, Engine, Process, StatClass};
+use utps_sim::{Ctx, Process, StatClass};
 use utps_workload::{Op, Workload};
 
 /// A one-sided verb on the wire.
@@ -212,39 +212,66 @@ fn script(proto: PassiveProtocol, op: &Op, miss_roll: f64) -> Vec<Verb> {
     let key = op.key();
     match (proto, op) {
         (PassiveProtocol::RaceHash, Op::Get { .. }) => vec![
-            Verb::Read { key, what: ReadTarget::HashBuckets },
-            Verb::Read { key, what: ReadTarget::Item },
+            Verb::Read {
+                key,
+                what: ReadTarget::HashBuckets,
+            },
+            Verb::Read {
+                key,
+                what: ReadTarget::Item,
+            },
         ],
         (PassiveProtocol::RaceHash, Op::Put { value_len, .. }) => vec![
-            Verb::Read { key, what: ReadTarget::HashBuckets },
-            Verb::Write { key, len: *value_len },
+            Verb::Read {
+                key,
+                what: ReadTarget::HashBuckets,
+            },
+            Verb::Write {
+                key,
+                len: *value_len,
+            },
             Verb::Cas { key },
         ],
         (PassiveProtocol::Sherman, Op::Get { .. }) => {
             let mut v = Vec::new();
             if miss_roll < 0.02 {
-                v.push(Verb::Read { key, what: ReadTarget::InternalPath });
+                v.push(Verb::Read {
+                    key,
+                    what: ReadTarget::InternalPath,
+                });
             }
-            v.push(Verb::Read { key, what: ReadTarget::Leaf });
+            v.push(Verb::Read {
+                key,
+                what: ReadTarget::Leaf,
+            });
             v
         }
         (PassiveProtocol::Sherman, Op::Put { value_len, .. }) => vec![
             Verb::Cas { key },
-            Verb::Write { key, len: *value_len },
+            Verb::Write {
+                key,
+                len: *value_len,
+            },
             Verb::Cas { key }, // unlock write
         ],
         (PassiveProtocol::Sherman, Op::Scan { count, .. }) => {
             // Leaf-chain reads: ≈ count/12 leaves.
             let leaves = (count / 12 + 1).max(1);
             (0..leaves)
-                .map(|_| Verb::Read { key, what: ReadTarget::Leaf })
+                .map(|_| Verb::Read {
+                    key,
+                    what: ReadTarget::Leaf,
+                })
                 .collect()
         }
         (PassiveProtocol::RaceHash, Op::Scan { .. }) => {
             panic!("RaceHash does not support scans")
         }
         (PassiveProtocol::RaceHash, Op::Delete { .. }) => vec![
-            Verb::Read { key, what: ReadTarget::HashBuckets },
+            Verb::Read {
+                key,
+                what: ReadTarget::HashBuckets,
+            },
             Verb::Cas { key }, // clear the slot pointer
         ],
         (PassiveProtocol::Sherman, Op::Delete { .. }) => vec![
@@ -364,24 +391,28 @@ pub fn run_passive(cfg: &RunConfig, proto: PassiveProtocol) -> RunResult {
         store,
         driver: DriverState::new(nclients, SimTime(cfg.warmup)),
     };
-    let mut eng = Engine::new(cfg.machine.clone(), 1, world);
     // One-sided verbs bypass the receive ring, so network fault fates do not
-    // apply here; the plan still drives per-core stall windows and keeps the
-    // stats schema uniform across systems.
-    eng.machine().faults = utps_sim::FaultPlan::new(cfg.faults.clone(), cfg.seed);
-    eng.spawn(None, StatClass::Other, Box::new(VerbEngine));
-    for c in 0..nclients {
-        let wl = cfg.workload.build(cfg.keys, cfg.seed, c as u64);
-        eng.spawn(
-            None,
-            StatClass::Other,
-            Box::new(PassiveClient::new(c as u32, proto, wl)),
-        );
-    }
-    eng.run_until(SimTime(cfg.warmup));
-    eng.machine().cache.metrics.reset();
-    eng.run_until(SimTime(cfg.warmup + cfg.duration));
-    crate::run::result_from_driver(cfg, &mut eng, |w| &w.driver)
+    // apply here; the runtime's plan still drives per-core stall windows and
+    // keeps the stats schema uniform across systems. `PassiveWorld` is not a
+    // `KvWorld` (no request/response fabric), so the verb clients are
+    // spawned as plain processes rather than via `spawn_clients`.
+    crate::run::run_pipeline(
+        cfg,
+        1,
+        world,
+        |rt| {
+            rt.spawn_process(None, StatClass::Other, Box::new(VerbEngine));
+            for c in 0..nclients {
+                let wl = cfg.workload.build(cfg.keys, cfg.seed, c as u64);
+                rt.spawn_process(
+                    None,
+                    StatClass::Other,
+                    Box::new(PassiveClient::new(c as u32, proto, wl)),
+                );
+            }
+        },
+        |w| &w.driver,
+    )
 }
 
 /// Runs RaceHash (requires a hash-index config).

@@ -2,6 +2,7 @@
 
 use utps_core::client::DriverState;
 use utps_core::experiment::{run_utps, RunConfig, RunResult, SystemKind};
+use utps_core::stage::PipelineRuntime;
 use utps_sim::time::SECS;
 use utps_sim::{Engine, StatClass};
 
@@ -18,6 +19,24 @@ pub fn run(system: SystemKind, cfg: &RunConfig) -> RunResult {
         SystemKind::RaceHash => run_racehash(cfg),
         SystemKind::Sherman => run_sherman(cfg),
     }
+}
+
+/// The one baseline runner: builds a [`PipelineRuntime`] over `world`, lets
+/// the system spawn its stages and clients, runs the warmup → reset →
+/// measure protocol (baselines reset only the cache counters, which the
+/// runtime does itself), and assembles the [`RunResult`] from the driver.
+pub fn run_pipeline<W: 'static>(
+    cfg: &RunConfig,
+    cores: usize,
+    world: W,
+    spawn: impl FnOnce(&mut PipelineRuntime<W>),
+    driver: impl Fn(&W) -> &DriverState,
+) -> RunResult {
+    let mut rt = PipelineRuntime::new(cfg, cores, world);
+    spawn(&mut rt);
+    rt.run(|_| {});
+    let mut eng = rt.into_engine();
+    result_from_driver(cfg, &mut eng, driver)
 }
 
 /// Builds a [`RunResult`] for a baseline world from its driver state and the
@@ -87,7 +106,12 @@ mod tests {
             machine: MachineConfig::tiny(),
             ..RunConfig::default()
         };
-        for system in [SystemKind::Utps, SystemKind::BaseKv, SystemKind::ErpcKv, SystemKind::Sherman] {
+        for system in [
+            SystemKind::Utps,
+            SystemKind::BaseKv,
+            SystemKind::ErpcKv,
+            SystemKind::Sherman,
+        ] {
             let r = run(system, &cfg);
             assert!(r.completed > 50, "{}: {} ops", system.name(), r.completed);
         }

@@ -98,12 +98,13 @@ fn main() {
             label.clone(),
             vec![n_mr as f64 / cfg.workers as f64, r.mops],
         ));
-        let ways_frac = if ways == 0 { 1.0 } else { ways as f64 / ways_total };
+        let ways_frac = if ways == 0 {
+            1.0
+        } else {
+            ways as f64 / ways_total
+        };
         llc_rows.push((label.clone(), vec![ways_frac, r.mops]));
-        cache_rows.push((
-            label.clone(),
-            vec![k as f64 / 10_000.0, r.cr_local_frac],
-        ));
+        cache_rows.push((label.clone(), vec![k as f64 / 10_000.0, r.cr_local_frac]));
         eprintln!("[fig13] {label}: n_cr={n_cr} ways={ways} cache={k}");
     }
     if part == "cores" || part == "all" {

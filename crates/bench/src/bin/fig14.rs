@@ -48,11 +48,19 @@ fn main() {
     sink.record("utps/fig14", &r);
     sink.finish();
     println!("== Figure 14: throughput over time (value size 512B -> 8B) ==");
-    println!("workload switches at t={:.1}ms", (warmup + switch) as f64 / MILLIS as f64);
+    println!(
+        "workload switches at t={:.1}ms",
+        (warmup + switch) as f64 / MILLIS as f64
+    );
     println!("{:>10} {:>10}", "t (ms)", "Mops");
     for (t, mops) in &r.timeline {
         let bar_len = (mops / 2.0) as usize;
-        println!("{:>10.2} {:>10.2} {}", t * 1e3, mops, "#".repeat(bar_len.min(60)));
+        println!(
+            "{:>10.2} {:>10.2} {}",
+            t * 1e3,
+            mops,
+            "#".repeat(bar_len.min(60))
+        );
     }
     println!("\ntuner events:");
     for e in &r.tuner_events {

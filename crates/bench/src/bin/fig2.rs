@@ -40,10 +40,7 @@ fn part_a(cli: &Cli) {
         let tps = run_utps_tuned(&cfg);
         let tpq = run_basekv_opts(&cfg, false);
         let tpq_cat = run_basekv_opts(&cfg, true);
-        rows.push((
-            format!("{size}B"),
-            vec![tps.mops, tpq.mops, tpq_cat.mops],
-        ));
+        rows.push((format!("{size}B"), vec![tps.mops, tpq.mops, tpq_cat.mops]));
         miss_rows.push((
             format!("{size}B"),
             vec![

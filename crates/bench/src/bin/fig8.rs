@@ -26,12 +26,7 @@ fn part_a(cli: &Cli) {
         let erpc = run_system(SystemKind::ErpcKv, &cfg);
         rows.push((
             label.to_string(),
-            vec![
-                utps.mops,
-                base.mops,
-                erpc.mops,
-                ratio(utps.mops, base.mops),
-            ],
+            vec![utps.mops, base.mops, erpc.mops, ratio(utps.mops, base.mops)],
         ));
     }
     print_table(

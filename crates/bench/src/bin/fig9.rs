@@ -11,10 +11,19 @@ use utps_workload::TwitterCluster;
 fn main() {
     let cli = Cli::parse();
     println!("Table 1 (trace parameters):");
-    println!("{:>12} {:>9} {:>12} {:>10}", "", "put", "avg value", "zipf a");
+    println!(
+        "{:>12} {:>9} {:>12} {:>10}",
+        "", "put", "avg value", "zipf a"
+    );
     for c in TwitterCluster::all() {
         let (p, v, a) = c.params();
-        println!("{:>12} {:>8.0}% {:>11}B {:>10.2}", c.name(), p * 100.0, v, a);
+        println!(
+            "{:>12} {:>8.0}% {:>11}B {:>10.2}",
+            c.name(),
+            p * 100.0,
+            v,
+            a
+        );
     }
 
     let mut rows = Vec::new();

@@ -50,7 +50,12 @@ impl Cli {
                 _ => args.push(a),
             }
         }
-        Cli { scale, csv, stats, args }
+        Cli {
+            scale,
+            csv,
+            stats,
+            args,
+        }
     }
 
     /// Value following `--part`, if present.
@@ -269,7 +274,10 @@ pub fn bench_loop<F: FnMut()>(name: &str, mut f: F) {
                 })
                 .collect();
             samples.sort_by(|a, b| a.total_cmp(b));
-            println!("{name:<24} {:>10.1} ns/op  ({iters} iters/sample)", samples[3]);
+            println!(
+                "{name:<24} {:>10.1} ns/op  ({iters} iters/sample)",
+                samples[3]
+            );
             return;
         }
         iters *= 4;

@@ -167,7 +167,9 @@ impl<T> core::ops::Deref for Guard<'_, T> {
 
 impl<T> Drop for Guard<'_, T> {
     fn drop(&mut self) {
-        self.cell.readers[self.slot].0.store(QUIESCENT, Ordering::SeqCst);
+        self.cell.readers[self.slot]
+            .0
+            .store(QUIESCENT, Ordering::SeqCst);
     }
 }
 

@@ -19,8 +19,8 @@
 
 pub mod epoch;
 pub mod hist;
-pub mod mpmc;
 pub mod hotset;
+pub mod mpmc;
 pub mod sketch;
 pub mod sorted_cache;
 pub mod spsc;
@@ -28,8 +28,8 @@ pub mod topk;
 
 pub use epoch::EpochCell;
 pub use hist::LatencyHistogram;
-pub use mpmc::MpmcQueue;
 pub use hotset::HotSetTracker;
+pub use mpmc::MpmcQueue;
 pub use sketch::CountMinSketch;
 pub use sorted_cache::SortedCache;
 pub use spsc::SpscRing;

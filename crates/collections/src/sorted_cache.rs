@@ -40,7 +40,10 @@ impl<V> SortedCache<V> {
                 _ => entries.push((k, v)),
             }
         }
-        SortedCache { entries, virt_base: 0 }
+        SortedCache {
+            entries,
+            virt_base: 0,
+        }
     }
 
     /// Places the entry array in a fixed virtual region for the address

@@ -151,6 +151,11 @@ impl<W: KvWorld> Process<W> for ClientProc {
                 NetMsg::Req(_) => unreachable!("client received a request"),
             };
             drained += 1;
+            // The response payload has reached the client: its NIC buffer is
+            // recycled (dup responses included).
+            if let Some(v) = resp.value {
+                ctx.machine().payloads.free(v);
+            }
             // With retries on, a response only completes a request still in
             // the pending table; late duplicates are counted and dropped.
             // Latency is measured from the first send either way (they
@@ -189,7 +194,18 @@ impl<W: KvWorld> Process<W> for ClientProc {
             for seq in self.pending.due(now) {
                 resent += 1;
                 match self.pending.retransmit(seq, now, &self.retry) {
-                    Some((op, value, first_sent)) => {
+                    Some((op, first_sent)) => {
+                        // Rebuild the put payload from the deterministic fill
+                        // byte — identical bytes to the first send, with no
+                        // copy stored per in-flight request.
+                        let value = match &op {
+                            Op::Put { value_len, .. } => Some(
+                                ctx.machine()
+                                    .payloads
+                                    .alloc(vec![self.value_fill; *value_len].into_boxed_slice()),
+                            ),
+                            _ => None,
+                        };
                         let req = Request {
                             client: self.id,
                             seq,
@@ -216,15 +232,19 @@ impl<W: KvWorld> Process<W> for ClientProc {
         let mut sent = 0;
         while self.outstanding < self.pipeline {
             let op = self.workload.next_op();
+            // Put payloads are written once, into NIC buffer memory; the
+            // request carries only the arena handle.
             let value = match &op {
-                Op::Put { value_len, .. } => {
-                    Some(vec![self.value_fill; *value_len].into_boxed_slice())
-                }
+                Op::Put { value_len, .. } => Some(
+                    ctx.machine()
+                        .payloads
+                        .alloc(vec![self.value_fill; *value_len].into_boxed_slice()),
+                ),
                 _ => None,
             };
             if retry_on {
                 self.pending
-                    .on_send(self.next_seq, ctx.now(), &self.retry, op.clone(), value.clone());
+                    .on_send(self.next_seq, ctx.now(), &self.retry, op.clone());
             }
             let req = Request {
                 client: self.id,
@@ -335,8 +355,12 @@ mod tests {
                     sent_at: req.sent_at,
                 };
                 let now = ctx.now();
-                w.fabric
-                    .server_send(now, resp.wire_len(), req.client as usize, NetMsg::Resp(resp));
+                w.fabric.server_send(
+                    now,
+                    resp.wire_len(),
+                    req.client as usize,
+                    NetMsg::Resp(resp),
+                );
             }
         }
     }

@@ -129,7 +129,10 @@ impl CrMrQueue {
             req: MpmcQueue::new_at(capacity * workers, vaddr::SHARED_Q),
             comps: (0..workers)
                 .map(|i| {
-                    MpmcQueue::new_at(capacity, vaddr::SHARED_Q + (i + 1) * vaddr::CRMR_LANE_STRIDE)
+                    MpmcQueue::new_at(
+                        capacity,
+                        vaddr::SHARED_Q + (i + 1) * vaddr::CRMR_LANE_STRIDE,
+                    )
                 })
                 .collect(),
             pushed: vec![0; workers],
@@ -424,8 +427,7 @@ impl CrMrQueue {
     /// (all its forwarded requests have answered).
     pub fn producer_idle(&self, producer: usize) -> bool {
         if let Some(s) = &self.shared {
-            return s.pushed[producer] == s.completed[producer]
-                && s.comps[producer].is_empty();
+            return s.pushed[producer] == s.completed[producer] && s.comps[producer].is_empty();
         }
         (0..self.workers).all(|c| {
             let lane = self.lane(producer, c);
@@ -485,7 +487,10 @@ mod tests {
         eng.spawn(
             Some(0),
             StatClass::Cr,
-            Box::new(Once { f: Some(f), out: Rc::clone(&out) }),
+            Box::new(Once {
+                f: Some(f),
+                out: Rc::clone(&out),
+            }),
         );
         eng.run_until(SimTime::from_millis(1));
         let r = out.borrow_mut().take().expect("did not run");
@@ -495,10 +500,30 @@ mod tests {
     #[test]
     fn desc_wire_roundtrip() {
         let cases = [
-            Desc { key: 0, seq: 0, kind: OpKind::Get, size: 0 },
-            Desc { key: u64::MAX, seq: u32::MAX as u64, kind: OpKind::Put, size: 0x3fff_ffff },
-            Desc { key: 0xdead_beef_cafe_f00d, seq: 7, kind: OpKind::Scan, size: 1024 },
-            Desc { key: 42, seq: 99, kind: OpKind::Delete, size: 1 },
+            Desc {
+                key: 0,
+                seq: 0,
+                kind: OpKind::Get,
+                size: 0,
+            },
+            Desc {
+                key: u64::MAX,
+                seq: u32::MAX as u64,
+                kind: OpKind::Put,
+                size: 0x3fff_ffff,
+            },
+            Desc {
+                key: 0xdead_beef_cafe_f00d,
+                seq: 7,
+                kind: OpKind::Scan,
+                size: 1024,
+            },
+            Desc {
+                key: 42,
+                seq: 99,
+                kind: OpKind::Delete,
+                size: 1,
+            },
         ];
         for d in cases {
             let wire = d.encode();
@@ -508,12 +533,23 @@ mod tests {
 
     #[test]
     fn desc_wire_layout() {
-        let d = Desc { key: 0x0102_0304_0506_0708, seq: 0x0a0b_0c0d, kind: OpKind::Scan, size: 5 };
+        let d = Desc {
+            key: 0x0102_0304_0506_0708,
+            seq: 0x0a0b_0c0d,
+            kind: OpKind::Scan,
+            size: 5,
+        };
         let wire = d.encode();
-        assert_eq!(&wire[0..8], &[0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01]);
+        assert_eq!(
+            &wire[0..8],
+            &[0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01]
+        );
         assert_eq!(&wire[8..12], &[0x0d, 0x0c, 0x0b, 0x0a]);
         // Type+size word: Scan (code 2) in the top 2 bits, size 5 below.
-        assert_eq!(u32::from_le_bytes(wire[12..16].try_into().unwrap()), (2 << 30) | 5);
+        assert_eq!(
+            u32::from_le_bytes(wire[12..16].try_into().unwrap()),
+            (2 << 30) | 5
+        );
     }
 
     #[test]

@@ -7,18 +7,19 @@
 use utps_index::IndexKind;
 use utps_sim::config::MachineConfig;
 use utps_sim::time::{SimTime, MICROS, SECS};
-use utps_sim::{Engine, FaultConfig, FaultPlan, StatClass};
+use utps_sim::{Engine, FaultConfig, StatClass};
 use utps_workload::{
-    DynamicWorkload, EtcWorkload, Mix, KeyDist, TwitterCluster, TwitterWorkload, Workload,
+    DynamicWorkload, EtcWorkload, KeyDist, Mix, TwitterCluster, TwitterWorkload, Workload,
     YcsbWorkload,
 };
 
-use crate::client::{ClientProc, DriverState, SamplerProc};
+use crate::client::DriverState;
 use crate::crmr::CrMrQueue;
 use crate::hotcache::HotCache;
 use crate::retry::{DedupTable, RetryConfig};
 use crate::rpc::{RecvRing, RespBuffers};
 use crate::server::{ServerConfig, UtpsWorker, UtpsWorld};
+use crate::stage::PipelineRuntime;
 use crate::store::KvStore;
 use crate::tuner::{ManagerProc, Tuner, TunerEvent, TunerMode, TunerParams};
 
@@ -277,7 +278,10 @@ pub fn run_utps(cfg: &RunConfig) -> RunResult {
 pub fn run_utps_with_world(cfg: &RunConfig) -> (RunResult, UtpsWorld) {
     let populate_len = cfg.workload.populate_value_len();
     let store = KvStore::populate(cfg.index, cfg.keys, populate_len);
-    assert!(cfg.n_cr >= 1 && cfg.n_cr < cfg.workers, "need ≥1 worker per layer");
+    assert!(
+        cfg.n_cr >= 1 && cfg.n_cr < cfg.workers,
+        "need ≥1 worker per layer"
+    );
 
     let server_cfg = ServerConfig {
         workers: cfg.workers,
@@ -293,7 +297,11 @@ pub fn run_utps_with_world(cfg: &RunConfig) -> (RunResult, UtpsWorld) {
         resp: RespBuffers::new(cfg.workers, 64, 1152),
         store,
         crmr: CrMrQueue::with_kind(cfg.workers, 256, cfg.queue_kind),
-        hot: HotCache::new(if cfg.cache_enabled { cfg.hot_capacity } else { 0 }),
+        hot: HotCache::new(if cfg.cache_enabled {
+            cfg.hot_capacity
+        } else {
+            0
+        }),
         cfg: server_cfg.clone(),
         reconfig: None,
         samples: (0..cfg.workers).map(|_| Default::default()).collect(),
@@ -303,77 +311,60 @@ pub fn run_utps_with_world(cfg: &RunConfig) -> (RunResult, UtpsWorld) {
         mr_ways: cfg.mr_ways,
         tuner_trace: Vec::new(),
         tuner_probes: Vec::new(),
-        dedup: DedupTable::new(
-            cfg.clients,
-            cfg.retry.enabled() || cfg.faults.net_active(),
-        ),
+        dedup: DedupTable::new(cfg.clients, cfg.retry.enabled() || cfg.faults.net_active()),
     };
 
     // Cores: one per worker plus one for the manager.
-    let mut eng = Engine::new(cfg.machine.clone(), cfg.workers + 1, world);
-    eng.machine().faults = FaultPlan::new(cfg.faults.clone(), cfg.seed);
+    let mut rt = PipelineRuntime::new(cfg, cfg.workers + 1, world);
 
     // Static CLOS assignment when the tuner is off.
     if cfg.mr_ways > 0 {
-        let full = eng.machine().cache.full_mask();
+        let full = rt.machine().cache.full_mask();
         let mask = if cfg.mr_ways >= full.count_ones() as usize {
             full
         } else {
             (1u32 << cfg.mr_ways) - 1
         };
         for w in cfg.n_cr..cfg.workers {
-            eng.machine().cache.set_clos_mask(w, mask);
+            rt.machine().cache.set_clos_mask(w, mask);
         }
     }
 
     for id in 0..cfg.workers {
-        let class = if id < cfg.n_cr { StatClass::Cr } else { StatClass::Mr };
-        eng.spawn(Some(id), class, Box::new(UtpsWorker::new(id, &server_cfg)));
+        let class = if id < cfg.n_cr {
+            StatClass::Cr
+        } else {
+            StatClass::Mr
+        };
+        rt.spawn_process(Some(id), class, Box::new(UtpsWorker::new(id, &server_cfg)));
     }
     // Manager on its own core.
     let mut params = cfg.tuner_params.clone();
     params.cache_max = cfg.hot_capacity;
     let tuner = Tuner::new(cfg.tuner, params);
     let refresh = (cfg.warmup / 2).max(500 * MICROS);
-    eng.spawn(
+    rt.spawn_process(
         Some(cfg.workers),
         StatClass::Other,
         Box::new(ManagerProc::new(tuner, refresh, cfg.hot_capacity)),
     );
-    for c in 0..cfg.clients {
-        let wl = cfg.workload.build(cfg.keys, cfg.seed, c as u64);
-        eng.spawn(
-            None,
-            StatClass::Other,
-            Box::new(ClientProc::with_retry(
-                c as u32,
-                wl,
-                cfg.pipeline,
-                cfg.retry.clone(),
-            )),
-        );
-    }
-    if cfg.timeline_interval > 0 {
-        eng.spawn(
-            None,
-            StatClass::Other,
-            Box::new(SamplerProc::new(cfg.timeline_interval)),
-        );
-    }
+    rt.spawn_clients(cfg);
 
-    // Warmup, reset the PCM-style counters, then measure.
-    eng.run_until(SimTime(cfg.warmup));
-    eng.machine().cache.metrics.reset();
-    eng.machine().registry.reset();
-    eng.world.stats.responses = 0;
-    eng.world.stats.cr_local = 0;
-    eng.world.stats.forwarded = 0;
-    eng.world.hot.reset_stats();
-    eng.world.ring.polls = 0;
-    eng.world.ring.poll_hits = 0;
-    eng.world.ring.dma_count = 0;
-    eng.run_until(SimTime(cfg.warmup + cfg.duration));
+    // Warmup → counter reset → measure. μTPS resets everything observable
+    // (registry, server counters, hot-cache and ring stats) so the measured
+    // window is self-contained; the runtime handles the cache counters.
+    rt.run(|eng| {
+        eng.machine().registry.reset();
+        eng.world.stats.responses = 0;
+        eng.world.stats.cr_local = 0;
+        eng.world.stats.forwarded = 0;
+        eng.world.hot.reset_stats();
+        eng.world.ring.polls = 0;
+        eng.world.ring.poll_hits = 0;
+        eng.world.ring.dma_count = 0;
+    });
 
+    let mut eng = rt.into_engine();
     let result = extract_result(cfg, &mut eng);
     (result, eng.world)
 }

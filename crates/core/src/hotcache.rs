@@ -186,7 +186,10 @@ mod tests {
         eng.spawn(
             Some(0),
             StatClass::Cr,
-            Box::new(Once { f: Some(f), out: Rc::clone(&out) }),
+            Box::new(Once {
+                f: Some(f),
+                out: Rc::clone(&out),
+            }),
         );
         eng.run_until(SimTime::from_millis(1));
         let r = out.borrow_mut().take().expect("did not run");

@@ -12,8 +12,8 @@
 //! |---|---|
 //! | §3.2.1 Reconfigurable RPC (single-queue receive buffer, SRQ/MP-RQ) | [`rpc`] |
 //! | §3.2.2 Resizable cache (hot set, sorted array, epoch switch) | [`hotcache`] |
-//! | §3.2.3 FSM execution model at the CR layer | [`server`] (`CrState`) |
-//! | §3.3 Memory-resident layer (batched indexing, data copy, CC) | [`server`] (`MrState`), [`store`] |
+//! | §3.2.3 FSM execution model (stage engine, CR layer) | [`stage`], [`server`] (`CrStage`) |
+//! | §3.3 Memory-resident layer (batched indexing, data copy, CC) | [`server`] (`MrStage`), [`store`] |
 //! | §3.4 CR-MR queue (all-to-all SPSC rings, 16-B descriptors) | [`crmr`] |
 //! | §3.5 Auto-tuner (thread reassignment, cache resize, LLC ways) | [`tuner`] |
 //! | §5 drivers (closed-loop clients, measurement) | [`client`], [`experiment`] |
@@ -29,10 +29,12 @@ pub mod msg;
 pub mod retry;
 pub mod rpc;
 pub mod server;
+pub mod stage;
 pub mod store;
 pub mod tuner;
 
 pub use client::{ClientProc, ClientStats};
 pub use experiment::{RunConfig, RunResult, SystemKind};
 pub use msg::{NetMsg, OpKind, Request, Response};
+pub use stage::{PipelineRuntime, Stage, StageProc, StepOutcome};
 pub use store::KvStore;

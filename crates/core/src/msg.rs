@@ -1,6 +1,12 @@
 //! Wire messages between clients and the KVS server.
+//!
+//! Payload bodies are not carried in the messages themselves: a message
+//! holds a [`PayloadRef`] into the machine's [`utps_sim::PayloadArena`]
+//! (NIC buffer memory), so bytes are written once at the producer and moved
+//! — never copied — into KV storage or back to the client.
 
 use utps_sim::time::SimTime;
+use utps_sim::PayloadRef;
 use utps_workload::Op;
 
 /// Request header bytes on the wire (type, key, size, seq, client).
@@ -52,8 +58,8 @@ pub struct Request {
     pub seq: u64,
     /// The operation.
     pub op: Op,
-    /// Payload for puts.
-    pub value: Option<Box<[u8]>>,
+    /// Payload for puts (arena handle; bytes live in NIC buffer memory).
+    pub value: Option<PayloadRef>,
     /// Client-side send timestamp.
     pub sent_at: SimTime,
 }
@@ -61,7 +67,7 @@ pub struct Request {
 impl Request {
     /// Bytes this request occupies on the wire.
     pub fn wire_len(&self) -> usize {
-        REQ_HEADER + self.value.as_ref().map(|v| v.len()).unwrap_or(0)
+        REQ_HEADER + self.value.map(|v| v.len()).unwrap_or(0)
     }
 
     /// The operation kind for the CR-MR descriptor.
@@ -84,8 +90,9 @@ pub struct Response {
     pub seq: u64,
     /// Whether the key was found / the write applied.
     pub ok: bool,
-    /// Returned value (gets) or values (scans, concatenated logically).
-    pub value: Option<Box<[u8]>>,
+    /// Returned value (gets) or values (scans, concatenated logically);
+    /// arena handle, freed by the client at receipt.
+    pub value: Option<PayloadRef>,
     /// Number of items returned (scans).
     pub scan_count: u32,
     /// Extra payload bytes on the wire not carried in `value`
@@ -103,7 +110,7 @@ pub struct Response {
 impl Response {
     /// Bytes this response occupies on the wire.
     pub fn wire_len(&self) -> usize {
-        RESP_HEADER + self.value.as_ref().map(|v| v.len()).unwrap_or(0) + self.payload_extra
+        RESP_HEADER + self.value.map(|v| v.len()).unwrap_or(0) + self.payload_extra
     }
 }
 
@@ -122,6 +129,7 @@ mod tests {
 
     #[test]
     fn wire_lengths() {
+        let mut arena = utps_sim::PayloadArena::new();
         let get = Request {
             client: 0,
             seq: 1,
@@ -134,8 +142,11 @@ mod tests {
         let put = Request {
             client: 0,
             seq: 2,
-            op: Op::Put { key: 5, value_len: 100 },
-            value: Some(vec![7u8; 100].into_boxed_slice()),
+            op: Op::Put {
+                key: 5,
+                value_len: 100,
+            },
+            value: Some(arena.alloc(vec![7u8; 100].into_boxed_slice())),
             sent_at: SimTime::ZERO,
         };
         assert_eq!(put.wire_len(), REQ_HEADER + 100);
@@ -144,7 +155,7 @@ mod tests {
             client: 0,
             seq: 2,
             ok: true,
-            value: Some(vec![1u8; 64].into_boxed_slice()),
+            value: Some(arena.alloc(vec![1u8; 64].into_boxed_slice())),
             scan_count: 0,
             payload_extra: 0,
             resp_addr: 0,

@@ -65,9 +65,7 @@ impl RetryConfig {
     /// The timeout for attempt `retries` (0 = first send): doubles per
     /// retransmit, capped at `backoff_max_ps`.
     pub fn timeout_for(&self, retries: u32) -> u64 {
-        let shifted = self
-            .timeout_ps
-            .saturating_mul(1u64 << retries.min(20));
+        let shifted = self.timeout_ps.saturating_mul(1u64 << retries.min(20));
         if self.backoff_max_ps > 0 {
             shifted.min(self.backoff_max_ps)
         } else {
@@ -85,10 +83,11 @@ impl Default for RetryConfig {
 /// One in-flight request awaiting its response.
 #[derive(Clone, Debug)]
 pub struct PendingReq {
-    /// The operation, kept for retransmission.
+    /// The operation, kept for retransmission. Put payloads are *not*
+    /// stored: the client's fill byte is deterministic, so a retransmit
+    /// regenerates identical bytes instead of keeping a copy per in-flight
+    /// request.
     pub op: Op,
-    /// Client fill value for puts (retransmits must carry identical bytes).
-    pub value: Option<Box<[u8]>>,
     /// When the first attempt was sent; completion latency is measured from
     /// here so retransmitted requests report their true service time.
     pub first_sent: SimTime,
@@ -98,10 +97,10 @@ pub struct PendingReq {
     pub retries: u32,
 }
 
-/// What [`RetryState::retransmit`] hands back: the operation to resend, its
-/// payload, and the original first-send timestamp (latency is measured from
-/// the first transmission, not the retry).
-pub type Resend = (Op, Option<Box<[u8]>>, SimTime);
+/// What [`RetryState::retransmit`] hands back: the operation to resend and
+/// the original first-send timestamp (latency is measured from the first
+/// transmission, not the retry).
+pub type Resend = (Op, SimTime);
 
 /// Per-client in-flight request table keyed by sequence number.
 #[derive(Debug, Default)]
@@ -126,12 +125,11 @@ impl RetryState {
     }
 
     /// Records a first send of `seq` at `now`.
-    pub fn on_send(&mut self, seq: u64, now: SimTime, cfg: &RetryConfig, op: Op, value: Option<Box<[u8]>>) {
+    pub fn on_send(&mut self, seq: u64, now: SimTime, cfg: &RetryConfig, op: Op) {
         let prev = self.pending.insert(
             seq,
             PendingReq {
                 op,
-                value,
                 first_sent: now,
                 deadline: now + cfg.timeout_for(0),
                 retries: 0,
@@ -171,7 +169,7 @@ impl RetryState {
         }
         p.retries += 1;
         p.deadline = now + cfg.timeout_for(p.retries);
-        Some((p.op.clone(), p.value.clone(), p.first_sent))
+        Some((p.op.clone(), p.first_sent))
     }
 
     /// Earliest deadline among in-flight requests.
@@ -271,7 +269,7 @@ mod tests {
     #[test]
     fn response_completes_once() {
         let mut st = RetryState::new();
-        st.on_send(7, SimTime(0), &cfg(), get(1), None);
+        st.on_send(7, SimTime(0), &cfg(), get(1));
         assert_eq!(st.len(), 1);
         let p = st.on_response(7).expect("first response completes");
         assert_eq!(p.first_sent, SimTime(0));
@@ -283,13 +281,13 @@ mod tests {
     fn due_and_retransmit_lifecycle() {
         let c = cfg();
         let mut st = RetryState::new();
-        st.on_send(1, SimTime(0), &c, get(1), None);
-        st.on_send(2, SimTime(50), &c, get(2), None);
+        st.on_send(1, SimTime(0), &c, get(1));
+        st.on_send(2, SimTime(50), &c, get(2));
         assert!(st.due(SimTime(99)).is_empty());
         assert_eq!(st.due(SimTime(100)), vec![1]);
         assert_eq!(st.due(SimTime(200)), vec![1, 2]);
         // First retransmit: deadline moves to now + 200.
-        let (op, _, first) = st.retransmit(1, SimTime(100), &c).expect("budget left");
+        let (op, first) = st.retransmit(1, SimTime(100), &c).expect("budget left");
         assert_eq!(op, get(1));
         assert_eq!(first, SimTime(0));
         assert_eq!(st.due(SimTime(299)), vec![2]);

@@ -22,7 +22,7 @@
 
 use utps_sim::cache::CacheHierarchy;
 use utps_sim::time::SimTime;
-use utps_sim::{vaddr, Ctx, Fabric, Machine, RecvFate};
+use utps_sim::{vaddr, Ctx, Fabric, Machine, PayloadRef, RecvFate};
 
 use crate::msg::{NetMsg, Request, Response};
 
@@ -73,7 +73,10 @@ impl RecvRing {
     /// Like [`RecvRing::new`], placing the slots at `virt_base` (per-worker
     /// rings use `RECV_RING + worker * RECV_RING_STRIDE`).
     pub fn new_at(nslots: usize, slot_size: usize, virt_base: usize) -> Self {
-        assert!(nslots.is_power_of_two(), "slot count must be a power of two");
+        assert!(
+            nslots.is_power_of_two(),
+            "slot count must be a power of two"
+        );
         RecvRing {
             slot_size,
             nslots,
@@ -153,6 +156,11 @@ impl RecvRing {
                         match m.faults.recv_fate() {
                             RecvFate::Drop => {
                                 m.registry.counter_inc("fault.rx_drop");
+                                // The NIC buffer holding the payload is
+                                // recycled with the dropped packet.
+                                if let Some(v) = req.value {
+                                    m.payloads.free(v);
+                                }
                                 continue;
                             }
                             RecvFate::Delay { delay } => {
@@ -162,7 +170,12 @@ impl RecvRing {
                             }
                             RecvFate::Duplicate { delay } => {
                                 m.registry.counter_inc("fault.rx_dup");
-                                fabric.redeliver_server(now + delay, NetMsg::Req(req.clone()));
+                                // A duplicated packet occupies its own NIC
+                                // buffer: deep-copy the payload (the one
+                                // copy the zero-copy rule exempts).
+                                let mut dup = req.clone();
+                                dup.value = dup.value.map(|v| m.payloads.dup(v));
+                                fabric.redeliver_server(now + delay, NetMsg::Req(dup));
                                 // Fall through: the original is delivered now.
                             }
                             RecvFate::Deliver => {}
@@ -221,6 +234,19 @@ impl RecvRing {
     pub fn request(&self, seq: u64) -> &Request {
         match &self.slots[self.idx(seq)] {
             SlotState::InFlight(r) | SlotState::Done(r, _) => r,
+            _ => panic!("no in-flight request at {seq}"),
+        }
+    }
+
+    /// Takes the payload ref out of the in-flight request at `seq`, leaving
+    /// `None` behind. Each request's payload is consumed exactly once (moved
+    /// into KV storage or freed); nulling the slot makes a second
+    /// consumption — e.g. after lease revocation re-spreads a descriptor —
+    /// an immediate panic instead of a silent aliasing bug.
+    pub fn take_value(&mut self, seq: u64) -> Option<PayloadRef> {
+        let idx = self.idx(seq);
+        match &mut self.slots[idx] {
+            SlotState::InFlight(r) | SlotState::Done(r, _) => r.value.take(),
             _ => panic!("no in-flight request at {seq}"),
         }
     }
@@ -364,7 +390,10 @@ mod tests {
         eng.spawn(
             Some(0),
             StatClass::Cr,
-            Box::new(Once { f: Some(f), out: Rc::clone(&out) }),
+            Box::new(Once {
+                f: Some(f),
+                out: Rc::clone(&out),
+            }),
         );
         eng.run_until(SimTime::from_millis(1));
         let r = out.borrow_mut().take().expect("did not run");

@@ -1,4 +1,4 @@
-//! The μTPS server: world state and the CR/MR worker processes.
+//! The μTPS server: world state and the CR/MR stages.
 //!
 //! A fixed pool of worker threads is partitioned into the cache-resident
 //! layer (workers `0..n_cr`) and the memory-resident layer (the rest). The
@@ -6,19 +6,27 @@
 //! the non-blocking reassignment protocol of §3.5 (switch at a pre-announced
 //! receive-slot sequence number, drain CR-MR lanes before switching roles).
 //!
-//! **CR worker** (§3.2.3 FSM): polls the single-queue receive buffer for the
-//! slots it owns (`seq mod n == i`), parses, serves hot keys from the
+//! Both layers are [`Stage`]s on the stage engine of [`crate::stage`]:
+//!
+//! **[`CrStage`]** (§3.2.3 FSM): polls the single-queue receive buffer for
+//! the slots it owns (`seq mod n == i`), parses, serves hot keys from the
 //! resizable cache (skipping index traversal entirely), forwards misses to
 //! the MR layer in batched 16-byte descriptors, and sends responses — both
 //! for its local hits and, when lane tail counters advance, for MR
 //! completions.
 //!
-//! **MR worker** (§3.3): pops descriptor batches from its lanes, runs one
+//! **[`MrStage`]** (§3.3): pops descriptor batches from its lanes, runs one
 //! [`KvOp`] state machine per request, and interleaves them round-robin so
 //! every prefetch issued before a pointer dereference is overlapped with
 //! other requests' compute — the stackless-coroutine batching of the paper.
 //! Data moves directly between network buffers and the store; only
-//! descriptors cross the CR-MR queue.
+//! descriptors cross the CR-MR queue, and request/response payloads travel
+//! as [`utps_sim::PayloadRef`] arena handles that each stage consumes
+//! exactly once.
+//!
+//! [`UtpsWorker`] composes the two: it drives whichever stage currently owns
+//! the core and, when a stage reports [`StepOutcome::Handoff`] (§3.5 thread
+//! reassignment), installs the successor stage in its place.
 
 use std::collections::VecDeque;
 
@@ -35,6 +43,7 @@ use crate::hotcache::HotCache;
 use crate::msg::{NetMsg, OpKind, Request, Response};
 use crate::retry::DedupTable;
 use crate::rpc::{send_response, RecvRing, RespBuffers};
+use crate::stage::{Stage, StepOutcome};
 use crate::store::{KvOp, KvOpOutput, KvStore, OpBuffers};
 
 /// Runtime-adjustable server configuration.
@@ -170,15 +179,6 @@ impl UtpsWorld {
     }
 }
 
-/// Roles a worker can be in.
-// One Role per worker for the whole run; boxing the large CR state would
-// add a pointer chase to every step for a few hundred bytes total.
-#[allow(clippy::large_enum_variant)]
-enum Role {
-    Cr(CrState),
-    Mr(MrState),
-}
-
 /// Cache-resident worker state.
 struct CrState {
     /// Local copy of `n_cr` (the modulo divisor).
@@ -202,7 +202,7 @@ struct CrState {
     /// True when this worker is draining to move to the MR layer.
     draining: bool,
     /// Per-lane descriptor-lease deadline: a lane with pending work past
-    /// this time has its unpopped backlog revoked (see `cr_check_leases`).
+    /// this time has its unpopped backlog revoked (see `check_leases`).
     lease_at: Vec<SimTime>,
 }
 
@@ -277,65 +277,62 @@ impl MrState {
     }
 }
 
-/// A μTPS worker thread (either layer; role changes at runtime).
-pub struct UtpsWorker {
-    id: usize,
-    role: Role,
+/// Builds a response from a finished [`KvOp`] and the original request.
+fn build_response(req: &Request, out: KvOpOutput, resp_addr: usize) -> Response {
+    let is_get = matches!(req.op, Op::Get { .. });
+    Response {
+        client: req.client,
+        seq: req.seq,
+        ok: out.ok,
+        value: if is_get { out.value } else { None },
+        scan_count: out.scan_count,
+        payload_extra: if is_get { 0 } else { out.payload },
+        resp_addr,
+        sent_at: req.sent_at,
+    }
 }
 
-impl UtpsWorker {
-    /// Creates worker `id` with its initial role taken from `cfg`.
-    pub fn new(id: usize, cfg: &ServerConfig) -> Self {
-        let role = if id < cfg.n_cr {
-            Role::Cr(CrState::new_fresh(cfg.workers, cfg.n_cr, id))
-        } else {
-            Role::Mr(MrState::new(cfg.workers))
-        };
-        UtpsWorker { id, role }
-    }
+// ----------------------------------------------------------------------
+// CR stage
+// ----------------------------------------------------------------------
 
-    /// Builds a response from a finished [`KvOp`] and the original request.
-    fn build_response(req: &Request, out: KvOpOutput, resp_addr: usize) -> Response {
-        let is_get = matches!(req.op, Op::Get { .. });
-        Response {
-            client: req.client,
-            seq: req.seq,
-            ok: out.ok,
-            value: if is_get { out.value } else { None },
-            scan_count: out.scan_count,
-            payload_extra: if is_get { 0 } else { out.payload },
-            resp_addr,
-            sent_at: req.sent_at,
+/// The cache-resident stage (§3.2.3): NIC polling, parsing, hot-cache
+/// serving, descriptor forwarding, and response transmission.
+pub struct CrStage {
+    id: usize,
+    st: CrState,
+}
+
+impl CrStage {
+    /// A freshly spawned CR stage for worker `id` (run start).
+    pub fn fresh(id: usize, cfg: &ServerConfig) -> Self {
+        CrStage {
+            id,
+            st: CrState::new_fresh(cfg.workers, cfg.n_cr, id),
         }
     }
 
-    // ------------------------------------------------------------------
-    // CR layer
-    // ------------------------------------------------------------------
-
-    fn cr_step(&mut self, ctx: &mut Ctx<'_>, world: &mut UtpsWorld) {
+    /// One CR scheduling slot; `true` means the worker has switched to the
+    /// MR layer and the caller must install an MR stage.
+    fn run(&mut self, ctx: &mut Ctx<'_>, world: &mut UtpsWorld) -> bool {
         let id = self.id;
-        let st = match &mut self.role {
-            Role::Cr(st) => st,
-            Role::Mr(_) => unreachable!(),
-        };
 
         // 0. Finish a blocked/ready local hot-path operation first.
-        if let Some((seq, mut op, started)) = st.local.take() {
+        if let Some((seq, mut op, started)) = self.st.local.take() {
             loop {
                 match op.poll(ctx, &mut world.store) {
                     Step::Done(out) => {
-                        Self::cr_finish_local(ctx, world, id, seq, out, started);
+                        finish_local(ctx, world, id, seq, out, started);
                         break;
                     }
                     Step::Ready => continue,
                     Step::Blocked => {
-                        st.local = Some((seq, op, started));
-                        return;
+                        self.st.local = Some((seq, op, started));
+                        return false;
                     }
                 }
             }
-            return;
+            return false;
         }
 
         // 1. Reconfiguration handling.
@@ -344,17 +341,16 @@ impl UtpsWorker {
             .as_ref()
             .map(|r| (r.new_n_cr, r.switch_seq, r.adopted[id]));
         if let Some((new_n_cr, switch_seq, adopted)) = rc {
-            if !adopted && st.cursor >= switch_seq {
+            if !adopted && self.st.cursor >= switch_seq {
                 if id < new_n_cr {
                     // Stay CR: adopt the new modulo and realign.
-                    st.n_local = new_n_cr;
-                    st.cursor = align_cursor(switch_seq, id, new_n_cr);
+                    self.st.n_local = new_n_cr;
+                    self.st.cursor = align_cursor(switch_seq, id, new_n_cr);
                     world.adopt_reconfig(id, ctx.now());
                 } else {
                     // Leave for the MR layer once everything drains.
-                    st.draining = true;
-                    self.cr_try_depart(ctx, world);
-                    return;
+                    self.st.draining = true;
+                    return self.try_depart(ctx, world);
                 }
             }
             // Until the switch point, keep processing with the old mapping.
@@ -364,27 +360,23 @@ impl UtpsWorker {
             let mr_lo = if world.crmr.is_shared() {
                 0
             } else {
-                self.id_mr_lo(world)
-            };
-            let st = match &mut self.role {
-                Role::Cr(st) => st,
-                Role::Mr(_) => unreachable!(),
+                world.mr_lo()
             };
             let mut stale: Vec<Desc> = Vec::new();
-            for t in 0..mr_lo.min(st.out.len()) {
-                stale.append(&mut st.out[t]);
+            for t in 0..mr_lo.min(self.st.out.len()) {
+                stale.append(&mut self.st.out[t]);
             }
             let n_mr = world.cfg.workers - mr_lo;
             for d in stale {
-                let target = mr_lo + st.mr_rr % n_mr;
-                st.out[target].push(d);
-                if st.out[target].len() >= world.cfg.batch {
-                    Self::push_lane(st, ctx, &mut world.crmr, id, target, world.cfg.lease_ps);
-                    st.mr_rr = (st.mr_rr + 1) % n_mr;
+                let target = mr_lo + self.st.mr_rr % n_mr;
+                self.st.out[target].push(d);
+                if self.st.out[target].len() >= world.cfg.batch {
+                    self.push_lane(ctx, &mut world.crmr, target, world.cfg.lease_ps);
+                    self.st.mr_rr = (self.st.mr_rr + 1) % n_mr;
                 }
             }
-        } else if st.draining {
-            st.draining = false;
+        } else if self.st.draining {
+            self.st.draining = false;
         }
 
         // 2. Pump the NIC into the receive ring (DMA is free for the CPU;
@@ -396,24 +388,20 @@ impl UtpsWorker {
         }
 
         // 3. Poll one lane's completion counter; send finished responses.
-        self.cr_poll_completions(ctx, world, 8);
+        self.poll_completions(ctx, world, 8);
 
         // 3b. Reclaim descriptor batches whose lease has expired.
         if world.cfg.lease_ps > 0 {
-            self.cr_check_leases(ctx, world);
+            self.check_leases(ctx, world);
         }
-        let st = match &mut self.role {
-            Role::Cr(st) => st,
-            Role::Mr(_) => unreachable!(),
-        };
 
         // 4. Claim and process the next owned slot.
-        let backlog = st.outstanding();
-        let may_claim = backlog < world.cfg.batch * 8 && !st.draining;
-        let claimed = if may_claim && world.ring.poll_posted(st.cursor) {
-            let seq = st.cursor;
-            st.cursor += st.n_local as u64;
-            self.cr_process_request(ctx, world, seq);
+        let backlog = self.st.outstanding();
+        let may_claim = backlog < world.cfg.batch * 8 && !self.st.draining;
+        let claimed = if may_claim && world.ring.poll_posted(self.st.cursor) {
+            let seq = self.st.cursor;
+            self.st.cursor += self.st.n_local as u64;
+            self.process_request(ctx, world, seq);
             true
         } else {
             false
@@ -423,52 +411,40 @@ impl UtpsWorker {
         //    (only toward workers that are legal MR targets right now).
         if !claimed {
             if world.crmr.is_shared() {
-                let st = match &mut self.role {
-                    Role::Cr(st) => st,
-                    Role::Mr(_) => unreachable!(),
-                };
-                while let Some(d) = st.out[0].pop() {
+                while let Some(d) = self.st.out[0].pop() {
                     if !world.crmr.push_shared(ctx, id, d) {
-                        st.out[0].push(d);
+                        self.st.out[0].push(d);
                         break;
                     }
                 }
-                return;
+                return false;
             }
             let mr_lo = world.mr_lo();
-            let st = match &mut self.role {
-                Role::Cr(st) => st,
-                Role::Mr(_) => unreachable!(),
-            };
             for t in mr_lo..world.cfg.workers {
-                if !st.out[t].is_empty()
-                    && Self::push_lane(st, ctx, &mut world.crmr, id, t, world.cfg.lease_ps) > 0
+                if !self.st.out[t].is_empty()
+                    && self.push_lane(ctx, &mut world.crmr, t, world.cfg.lease_ps) > 0
                 {
                     break;
                 }
             }
         }
-    }
-
-    /// Current first legal MR target (delegates to the world).
-    fn id_mr_lo(&self, world: &UtpsWorld) -> usize {
-        world.mr_lo()
+        false
     }
 
     /// Pushes the accumulated batch for lane `target`, recording accepted
     /// seqs in the per-lane completion FIFO and arming the lane's
     /// descriptor lease. Returns how many were accepted.
     fn push_lane(
-        st: &mut CrState,
+        &mut self,
         ctx: &mut Ctx<'_>,
         crmr: &mut CrMrQueue,
-        id: usize,
         target: usize,
         lease_ps: u64,
     ) -> usize {
+        let st = &mut self.st;
         let mut batch = core::mem::take(&mut st.out[target]);
         let accepted_seqs: Vec<u64> = batch.iter().map(|d| d.seq).collect();
-        let pushed = crmr.push_batch(ctx, id, target, &mut batch);
+        let pushed = crmr.push_batch(ctx, self.id, target, &mut batch);
         for &seq in &accepted_seqs[..pushed] {
             st.pending[target].push_back(seq);
         }
@@ -483,7 +459,7 @@ impl UtpsWorker {
     /// work and no completion progress for `lease_ps` has its *unpopped*
     /// backlog revoked and re-forwarded to the other MR workers, so a
     /// stalled consumer delays only the batch it already popped.
-    fn cr_check_leases(&mut self, ctx: &mut Ctx<'_>, world: &mut UtpsWorld) {
+    fn check_leases(&mut self, ctx: &mut Ctx<'_>, world: &mut UtpsWorld) {
         let lease = world.cfg.lease_ps;
         if lease == 0 || world.crmr.is_shared() {
             return;
@@ -496,52 +472,46 @@ impl UtpsWorker {
         }
         let workers = world.cfg.workers;
         let now = ctx.now();
-        let st = match &mut self.role {
-            Role::Cr(st) => st,
-            Role::Mr(_) => unreachable!(),
-        };
         for t in 0..workers {
-            if st.pending[t].is_empty() || now <= st.lease_at[t] {
+            if self.st.pending[t].is_empty() || now <= self.st.lease_at[t] {
                 continue;
             }
             let mut revoked: Vec<Desc> = Vec::new();
             let got = world.crmr.revoke_unpopped(ctx, id, t, &mut revoked);
             // Re-arm regardless: the already-popped prefix stays with the
             // consumer and must not re-trigger every step.
-            st.lease_at[t] = now + lease;
+            self.st.lease_at[t] = now + lease;
             if got == 0 {
                 continue;
             }
             for _ in 0..got {
-                st.pending[t].pop_back().expect("revoked more than pending");
+                self.st.pending[t]
+                    .pop_back()
+                    .expect("revoked more than pending");
             }
             ctx.machine()
                 .registry
                 .counter_add("crmr.lease_reclaim", got as u64);
             for d in revoked {
-                let mut target = mr_lo + st.mr_rr % n_mr;
+                let mut target = mr_lo + self.st.mr_rr % n_mr;
                 if target == t {
-                    st.mr_rr = (st.mr_rr + 1) % n_mr;
-                    target = mr_lo + st.mr_rr % n_mr;
+                    self.st.mr_rr = (self.st.mr_rr + 1) % n_mr;
+                    target = mr_lo + self.st.mr_rr % n_mr;
                 }
-                st.out[target].push(d);
-                st.mr_rr = (st.mr_rr + 1) % n_mr;
+                self.st.out[target].push(d);
+                self.st.mr_rr = (self.st.mr_rr + 1) % n_mr;
             }
             for tt in mr_lo..workers {
-                if tt != t && !st.out[tt].is_empty() {
-                    Self::push_lane(st, ctx, &mut world.crmr, id, tt, lease);
+                if tt != t && !self.st.out[tt].is_empty() {
+                    self.push_lane(ctx, &mut world.crmr, tt, lease);
                 }
             }
         }
     }
 
     /// Processes one claimed receive slot.
-    fn cr_process_request(&mut self, ctx: &mut Ctx<'_>, world: &mut UtpsWorld, seq: u64) {
+    fn process_request(&mut self, ctx: &mut Ctx<'_>, world: &mut UtpsWorld, seq: u64) {
         let id = self.id;
-        let st = match &mut self.role {
-            Role::Cr(st) => st,
-            Role::Mr(_) => unreachable!(),
-        };
         let started = ctx.now();
         let req = world.ring.claim(ctx, seq);
         ctx.stage_transitions(1);
@@ -549,7 +519,6 @@ impl UtpsWorker {
         let client_seq = req.seq;
         let op = req.op.clone();
         let key = op.key();
-        let value = req.value.clone();
 
         // Sequence-number dedup: a retransmitted write whose original
         // already completed must not execute again — answer it again
@@ -559,6 +528,11 @@ impl UtpsWorker {
             && world.dedup.seen(client, client_seq)
         {
             ctx.machine().registry.counter_inc("server.dup_suppressed");
+            // The suppressed write's payload is never consumed: recycle its
+            // NIC buffer with the slot.
+            if let Some(v) = world.ring.take_value(seq) {
+                ctx.machine().payloads.free(v);
+            }
             let resp_addr = world.resp.addr_for(id, seq);
             let out = KvOpOutput {
                 ok: true,
@@ -566,7 +540,7 @@ impl UtpsWorker {
                 scan_count: 0,
                 payload: 0,
             };
-            let resp = Self::build_response(world.ring.request(seq), out, resp_addr);
+            let resp = build_response(world.ring.request(seq), out, resp_addr);
             world.ring.abort(seq);
             world.stats.responses += 1;
             send_response(ctx, &mut world.fabric, resp_addr, resp);
@@ -574,9 +548,9 @@ impl UtpsWorker {
         }
 
         // Sampling for the hot-set tracker.
-        st.sample_ctr += 1;
-        if world.cfg.cache_enabled && st.sample_ctr >= world.cfg.sample_every {
-            st.sample_ctr = 0;
+        self.st.sample_ctr += 1;
+        if world.cfg.cache_enabled && self.st.sample_ctr >= world.cfg.sample_every {
+            self.st.sample_ctr = 0;
             let q = &mut world.samples[id];
             if q.len() < 4096 {
                 q.push_back(key);
@@ -601,19 +575,21 @@ impl UtpsWorker {
             (Op::Get { .. }, Some(item)) => {
                 world.stats.cr_local += 1;
                 ctx.machine().registry.counter_inc("cr.hit");
-                self.cr_drive_local(ctx, world, seq, KvOp::get_cached(key, item, bufs), started);
+                self.drive_local(ctx, world, seq, KvOp::get_cached(key, item, bufs), started);
             }
             (Op::Put { .. }, Some(item)) => {
                 world.stats.cr_local += 1;
                 ctx.machine().registry.counter_inc("cr.hit");
-                let v = value.expect("put without payload");
-                self.cr_drive_local(
-                    ctx,
-                    world,
-                    seq,
-                    KvOp::put_cached(key, item, v, bufs),
-                    started,
-                );
+                // Move the payload out of NIC buffer memory — written once
+                // by the client, consumed once here.
+                let op = match world.ring.take_value(seq) {
+                    Some(v) => {
+                        let value = ctx.machine().payloads.take(v);
+                        KvOp::put_cached(key, item, value, bufs)
+                    }
+                    None => malformed(ctx, OpKind::Put, key, bufs),
+                };
+                self.drive_local(ctx, world, seq, op, started);
             }
             (Op::Scan { count, .. }, _) => {
                 // Hybrid scan (§4): serve the cached portion here, forward
@@ -636,18 +612,18 @@ impl UtpsWorker {
                     world.scan_skips.insert(seq, skip);
                 }
                 world.stats.forwarded += 1;
-                self.cr_forward(ctx, world, seq, key, OpKind::Scan, count as u32);
+                self.forward(ctx, world, seq, key, OpKind::Scan, count as u32);
             }
             (Op::Get { .. }, None) => {
                 world.stats.forwarded += 1;
                 ctx.machine().registry.counter_inc("cr.miss");
-                self.cr_forward(ctx, world, seq, key, OpKind::Get, 0);
+                self.forward(ctx, world, seq, key, OpKind::Get, 0);
             }
             (Op::Put { value_len, .. }, None) => {
                 let size = *value_len as u32;
                 world.stats.forwarded += 1;
                 ctx.machine().registry.counter_inc("cr.miss");
-                self.cr_forward(ctx, world, seq, key, OpKind::Put, size);
+                self.forward(ctx, world, seq, key, OpKind::Put, size);
             }
             (Op::Delete { .. }, cached) => {
                 // Tombstone any cached entry first, then let the MR layer
@@ -657,13 +633,13 @@ impl UtpsWorker {
                     world.hot.invalidate(ctx, key);
                 }
                 world.stats.forwarded += 1;
-                self.cr_forward(ctx, world, seq, key, OpKind::Delete, 0);
+                self.forward(ctx, world, seq, key, OpKind::Delete, 0);
             }
         }
     }
 
     /// Drives a local hot-path op to completion or parks it.
-    fn cr_drive_local(
+    fn drive_local(
         &mut self,
         ctx: &mut Ctx<'_>,
         world: &mut UtpsWorld,
@@ -674,45 +650,20 @@ impl UtpsWorker {
         loop {
             match op.poll(ctx, &mut world.store) {
                 Step::Done(out) => {
-                    Self::cr_finish_local(ctx, world, self.id, seq, out, started);
+                    finish_local(ctx, world, self.id, seq, out, started);
                     return;
                 }
                 Step::Ready => continue,
                 Step::Blocked => {
-                    let st = match &mut self.role {
-                        Role::Cr(st) => st,
-                        Role::Mr(_) => unreachable!(),
-                    };
-                    st.local = Some((seq, op, started));
+                    self.st.local = Some((seq, op, started));
                     return;
                 }
             }
         }
     }
 
-    /// Sends the response for a locally served request and frees the slot.
-    fn cr_finish_local(
-        ctx: &mut Ctx<'_>,
-        world: &mut UtpsWorld,
-        id: usize,
-        seq: u64,
-        out: KvOpOutput,
-        started: SimTime,
-    ) {
-        let resp_addr = world.resp.addr_for(id, seq);
-        let resp = Self::build_response(world.ring.request(seq), out, resp_addr);
-        world.ring.abort(seq);
-        world.stats.responses += 1;
-        world.dedup.record(resp.client, resp.seq);
-        let hit_ns = ctx.now().since(started) / utps_sim::time::NANOS;
-        let reg = &mut ctx.machine().registry;
-        reg.counter_inc("cr.response");
-        reg.hist_record("cr.hit_path_ns", hit_ns);
-        send_response(ctx, &mut world.fabric, resp_addr, resp);
-    }
-
     /// Queues a descriptor toward the MR layer, pushing full batches.
-    fn cr_forward(
+    fn forward(
         &mut self,
         ctx: &mut Ctx<'_>,
         world: &mut UtpsWorld,
@@ -726,10 +677,6 @@ impl UtpsWorker {
         let mr_lo = world.mr_lo();
         let n_mr = world.cfg.workers - mr_lo;
         debug_assert!(n_mr > 0, "no MR workers to forward to");
-        let st = match &mut self.role {
-            Role::Cr(st) => st,
-            Role::Mr(_) => unreachable!(),
-        };
         let desc = Desc {
             key,
             seq,
@@ -740,23 +687,23 @@ impl UtpsWorker {
             // Counterfactual transport: one shared queue, one CAS per
             // descriptor; overflow retries from the stash on later steps.
             if !world.crmr.push_shared(ctx, id, desc) {
-                st.out[0].push(desc);
+                self.st.out[0].push(desc);
             }
             return;
         }
         // Fill one target's multi-request slot to the batch size before
         // rotating to the next MR worker (§3.4: a slot is pushed only when
         // enough requests have accumulated).
-        let target = mr_lo + st.mr_rr % n_mr;
-        st.out[target].push(desc);
-        if st.out[target].len() >= world.cfg.batch {
-            Self::push_lane(st, ctx, &mut world.crmr, id, target, world.cfg.lease_ps);
-            st.mr_rr = (st.mr_rr + 1) % n_mr;
+        let target = mr_lo + self.st.mr_rr % n_mr;
+        self.st.out[target].push(desc);
+        if self.st.out[target].len() >= world.cfg.batch {
+            self.push_lane(ctx, &mut world.crmr, target, world.cfg.lease_ps);
+            self.st.mr_rr = (self.st.mr_rr + 1) % n_mr;
         }
     }
 
     /// Polls completion counters and sends up to `limit` finished responses.
-    fn cr_poll_completions(&mut self, ctx: &mut Ctx<'_>, world: &mut UtpsWorld, limit: usize) {
+    fn poll_completions(&mut self, ctx: &mut Ctx<'_>, world: &mut UtpsWorld, limit: usize) {
         let id = self.id;
         if world.crmr.is_shared() {
             for _ in 0..limit {
@@ -772,10 +719,7 @@ impl UtpsWorker {
             }
             return;
         }
-        let st = match &mut self.role {
-            Role::Cr(st) => st,
-            Role::Mr(_) => unreachable!(),
-        };
+        let st = &mut self.st;
         let workers = world.cfg.workers;
         // Find the next lane with forwarded-but-unacknowledged requests.
         let mut lane = None;
@@ -809,18 +753,16 @@ impl UtpsWorker {
         }
     }
 
-    /// Attempts to finish draining and switch to the MR layer.
-    fn cr_try_depart(&mut self, ctx: &mut Ctx<'_>, world: &mut UtpsWorld) {
+    /// Attempts to finish draining; `true` once this worker has handed its
+    /// core to the MR layer.
+    fn try_depart(&mut self, ctx: &mut Ctx<'_>, world: &mut UtpsWorld) -> bool {
         let id = self.id;
         // Flush any remaining partial batches first (redirecting any whose
         // target is also leaving the MR layer).
         {
             let mr_lo = world.mr_lo();
             let n_mr = world.cfg.workers - mr_lo;
-            let st = match &mut self.role {
-                Role::Cr(st) => st,
-                Role::Mr(_) => unreachable!(),
-            };
+            let st = &mut self.st;
             let mut stale: Vec<Desc> = Vec::new();
             for t in 0..mr_lo.min(st.out.len()) {
                 stale.append(&mut st.out[t]);
@@ -831,32 +773,68 @@ impl UtpsWorker {
                 st.out[target].push(d);
             }
             for t in mr_lo..world.cfg.workers {
-                if !st.out[t].is_empty() {
-                    Self::push_lane(st, ctx, &mut world.crmr, id, t, world.cfg.lease_ps);
+                if !self.st.out[t].is_empty() {
+                    self.push_lane(ctx, &mut world.crmr, t, world.cfg.lease_ps);
                 }
             }
         }
         // Keep sending completions for already-forwarded requests.
-        self.cr_poll_completions(ctx, world, 8);
-        let st = match &mut self.role {
-            Role::Cr(st) => st,
-            Role::Mr(_) => unreachable!(),
-        };
-        if st.local.is_none() && st.outstanding() == 0 && world.crmr.producer_idle(id) {
-            // All clear: become an MR worker.
-            self.role = Role::Mr(MrState::new(world.cfg.workers));
+        self.poll_completions(ctx, world, 8);
+        if self.st.local.is_none() && self.st.outstanding() == 0 && world.crmr.producer_idle(id) {
+            // All clear: hand the core to a fresh MR stage.
             ctx.set_class(StatClass::Mr);
             world.adopt_reconfig(id, ctx.now());
+            true
         } else {
             ctx.spin();
+            false
+        }
+    }
+}
+
+impl Stage<UtpsWorld> for CrStage {
+    fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut UtpsWorld) -> StepOutcome {
+        if self.run(ctx, world) {
+            StepOutcome::Handoff
+        } else if ctx.progressed() {
+            StepOutcome::Progress
+        } else {
+            StepOutcome::Idle
         }
     }
 
-    // ------------------------------------------------------------------
-    // MR layer
-    // ------------------------------------------------------------------
+    fn name(&self) -> &'static str {
+        "utps-cr"
+    }
+}
 
-    fn mr_step(&mut self, ctx: &mut Ctx<'_>, world: &mut UtpsWorld) {
+// ----------------------------------------------------------------------
+// MR stage
+// ----------------------------------------------------------------------
+
+/// The memory-resident stage (§3.3): descriptor batching and interleaved
+/// index traversal.
+pub struct MrStage {
+    id: usize,
+    st: MrState,
+    /// The CR stage to install after a [`StepOutcome::Handoff`], built
+    /// against the live lane counters *before* the reconfig is adopted.
+    successor: Option<CrStage>,
+}
+
+impl MrStage {
+    /// An MR stage for worker `id` on a `workers`-thread server.
+    pub fn new(id: usize, workers: usize) -> Self {
+        MrStage {
+            id,
+            st: MrState::new(workers),
+            successor: None,
+        }
+    }
+
+    /// One MR scheduling slot; `true` means the worker has switched to the
+    /// CR layer and the caller must install [`MrStage::successor`].
+    fn run(&mut self, ctx: &mut Ctx<'_>, world: &mut UtpsWorld) -> bool {
         let id = self.id;
 
         // Reconfiguration: become a CR worker when told to and fully idle.
@@ -866,17 +844,15 @@ impl UtpsWorker {
             .map(|r| (r.new_n_cr, r.switch_seq, r.adopted[id]));
         if let Some((new_n_cr, switch_seq, adopted)) = rc {
             if !adopted && id < new_n_cr {
-                let st = match &mut self.role {
-                    Role::Mr(st) => st,
-                    Role::Cr(_) => unreachable!(),
-                };
-                if st.ops.is_empty() && world.crmr.consumer_idle(id) {
+                if self.st.ops.is_empty() && world.crmr.consumer_idle(id) {
+                    // Build the successor before adopting: adoption may
+                    // finalize the reconfig and erase `new_n_cr`.
                     let mut cr = CrState::new(world.cfg.workers, new_n_cr, id, &world.crmr);
                     cr.cursor = align_cursor(switch_seq, id, new_n_cr);
-                    self.role = Role::Cr(cr);
+                    self.successor = Some(CrStage { id, st: cr });
                     ctx.set_class(StatClass::Cr);
                     world.adopt_reconfig(id, ctx.now());
-                    return;
+                    return true;
                 }
                 // Fall through: keep processing to drain.
             } else if !adopted {
@@ -885,21 +861,16 @@ impl UtpsWorker {
             }
         }
 
-        let st = match &mut self.role {
-            Role::Mr(st) => st,
-            Role::Cr(_) => unreachable!(),
-        };
+        let st = &mut self.st;
 
         if st.ops.is_empty() {
             if world.crmr.is_shared() {
                 st.scratch.clear();
-                let got = world
-                    .crmr
-                    .pop_shared(ctx, &mut st.scratch, world.cfg.batch);
+                let got = world.crmr.pop_shared(ctx, &mut st.scratch, world.cfg.batch);
                 let popped_at = ctx.now();
                 for i in 0..got {
                     let d = st.scratch[i];
-                    let op = build_mr_op(world, id, d);
+                    let op = build_mr_op(ctx, world, id, d);
                     st.ops.push(ActiveOp {
                         seq: d.seq,
                         op,
@@ -912,7 +883,7 @@ impl UtpsWorker {
                     reg.hist_record("mr.batch_size", got as u64);
                     reg.hist_record("mr.interleave_depth", st.ops.len() as u64);
                 }
-                return;
+                return false;
             }
             // Fill a super-batch by scanning all producers round-robin.
             let workers = world.cfg.workers;
@@ -927,11 +898,13 @@ impl UtpsWorker {
                 if got > 0 {
                     st.lane_pop[p] += got as u32;
                     ctx.stage_transitions(1);
-                    ctx.machine().registry.hist_record("mr.batch_size", got as u64);
+                    ctx.machine()
+                        .registry
+                        .hist_record("mr.batch_size", got as u64);
                     let popped_at = ctx.now();
                     for i in 0..got {
                         let d = st.scratch[i];
-                        let op = build_mr_op(world, id, d);
+                        let op = build_mr_op(ctx, world, id, d);
                         st.ops.push(ActiveOp {
                             seq: d.seq,
                             op,
@@ -944,9 +917,11 @@ impl UtpsWorker {
             st.prod_rr = (st.prod_rr + scanned) % workers;
             if !st.ops.is_empty() {
                 let depth = st.ops.len() as u64;
-                ctx.machine().registry.hist_record("mr.interleave_depth", depth);
+                ctx.machine()
+                    .registry
+                    .hist_record("mr.interleave_depth", depth);
             }
-            return;
+            return false;
         }
 
         // Interleave the batch: poll each live op once (coroutine switch).
@@ -960,10 +935,12 @@ impl UtpsWorker {
                 Step::Done(out) => {
                     st.ops[i].done = true;
                     let trav_ns = ctx.now().since(st.ops[i].started) / utps_sim::time::NANOS;
-                    ctx.machine().registry.hist_record("mr.traversal_ns", trav_ns);
+                    ctx.machine()
+                        .registry
+                        .hist_record("mr.traversal_ns", trav_ns);
                     let seq = st.ops[i].seq;
                     let resp_addr = world.resp.addr_for(id, seq);
-                    let resp = Self::build_response(world.ring.request(seq), out, resp_addr);
+                    let resp = build_response(world.ring.request(seq), out, resp_addr);
                     world.ring.complete(seq, resp);
                     if world.crmr.is_shared() {
                         let owner = world.owner_of(seq);
@@ -992,7 +969,52 @@ impl UtpsWorker {
             }
             st.ops.clear();
         }
+        false
     }
+}
+
+impl Stage<UtpsWorld> for MrStage {
+    fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut UtpsWorld) -> StepOutcome {
+        if self.run(ctx, world) {
+            StepOutcome::Handoff
+        } else if ctx.progressed() {
+            StepOutcome::Progress
+        } else {
+            StepOutcome::Idle
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "utps-mr"
+    }
+}
+
+/// Sends the response for a locally served request and frees the slot.
+fn finish_local(
+    ctx: &mut Ctx<'_>,
+    world: &mut UtpsWorld,
+    id: usize,
+    seq: u64,
+    out: KvOpOutput,
+    started: SimTime,
+) {
+    let resp_addr = world.resp.addr_for(id, seq);
+    let resp = build_response(world.ring.request(seq), out, resp_addr);
+    world.ring.abort(seq);
+    world.stats.responses += 1;
+    world.dedup.record(resp.client, resp.seq);
+    let hit_ns = ctx.now().since(started) / utps_sim::time::NANOS;
+    let reg = &mut ctx.machine().registry;
+    reg.counter_inc("cr.response");
+    reg.hist_record("cr.hit_path_ns", hit_ns);
+    send_response(ctx, &mut world.fabric, resp_addr, resp);
+}
+
+/// A PUT whose receive slot carries no payload is a protocol error, not a
+/// server crash: count it and answer `ok = false`.
+fn malformed(ctx: &mut Ctx<'_>, kind: OpKind, key: u64, bufs: OpBuffers) -> KvOp {
+    ctx.machine().registry.counter_inc("server.malformed_req");
+    KvOp::failed(kind, key, bufs)
 }
 
 /// First sequence ≥ `from` owned by `id` under divisor `n`.
@@ -1009,19 +1031,22 @@ fn align_cursor(from: u64, id: usize, n: usize) -> u64 {
 
 /// Builds the MR-layer [`KvOp`] for a descriptor. The MR worker copies
 /// response payloads into *its own* response buffer (§3.3) — the RNIC reads
-/// it directly, so the CR layer never touches those lines.
-fn build_mr_op(world: &mut UtpsWorld, consumer: usize, d: Desc) -> KvOp {
-    let req = world.ring.request(d.seq);
+/// it directly, so the CR layer never touches those lines. Put payloads are
+/// *moved* out of the receive slot's arena handle, never copied.
+fn build_mr_op(ctx: &mut Ctx<'_>, world: &mut UtpsWorld, consumer: usize, d: Desc) -> KvOp {
     let bufs = OpBuffers {
         recv_addr: world.ring.slot_addr(d.seq),
         resp_addr: world.resp.addr_for(consumer, d.seq),
     };
     match d.kind {
         OpKind::Get => KvOp::get(&world.store, d.key, bufs),
-        OpKind::Put => {
-            let value = req.value.clone().expect("put without payload");
-            KvOp::put(&world.store, d.key, value, bufs)
-        }
+        OpKind::Put => match world.ring.take_value(d.seq) {
+            Some(v) => {
+                let value = ctx.machine().payloads.take(v);
+                KvOp::put(&world.store, d.key, value, bufs)
+            }
+            None => malformed(ctx, OpKind::Put, d.key, bufs),
+        },
         OpKind::Scan => {
             let skip = world.scan_skips.remove(&d.seq).unwrap_or_default();
             KvOp::scan(&world.store, d.key, d.size as usize, skip, bufs)
@@ -1030,11 +1055,54 @@ fn build_mr_op(world: &mut UtpsWorld, consumer: usize, d: Desc) -> KvOp {
     }
 }
 
+// ----------------------------------------------------------------------
+// Worker composition
+// ----------------------------------------------------------------------
+
+/// Roles a worker can be in.
+// One Role per worker for the whole run; boxing the large CR stage would
+// add a pointer chase to every step for a few hundred bytes total.
+#[allow(clippy::large_enum_variant)]
+enum Role {
+    Cr(CrStage),
+    Mr(MrStage),
+}
+
+/// A μTPS worker thread: the CR⇄MR stage composition. Drives whichever
+/// stage owns the core and swaps in the successor on
+/// [`StepOutcome::Handoff`] (§3.5 thread reassignment).
+pub struct UtpsWorker {
+    id: usize,
+    role: Role,
+}
+
+impl UtpsWorker {
+    /// Creates worker `id` with its initial stage taken from `cfg`.
+    pub fn new(id: usize, cfg: &ServerConfig) -> Self {
+        let role = if id < cfg.n_cr {
+            Role::Cr(CrStage::fresh(id, cfg))
+        } else {
+            Role::Mr(MrStage::new(id, cfg.workers))
+        };
+        UtpsWorker { id, role }
+    }
+}
+
 impl Process<UtpsWorld> for UtpsWorker {
     fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut UtpsWorld) {
-        match &self.role {
-            Role::Cr(_) => self.cr_step(ctx, world),
-            Role::Mr(_) => self.mr_step(ctx, world),
+        let outcome = match &mut self.role {
+            Role::Cr(s) => s.step(ctx, world),
+            Role::Mr(s) => s.step(ctx, world),
+        };
+        if matches!(outcome, StepOutcome::Handoff) {
+            self.role = match &mut self.role {
+                Role::Cr(_) => Role::Mr(MrStage::new(self.id, world.cfg.workers)),
+                Role::Mr(s) => Role::Cr(
+                    s.successor
+                        .take()
+                        .expect("MR handoff without successor stage"),
+                ),
+            };
         }
     }
 

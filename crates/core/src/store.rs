@@ -11,7 +11,7 @@ use utps_index::{
     Index, IndexGet, IndexInsert, IndexInsertError, IndexKind, IndexRemove, IndexScan, ItemId,
     ItemStore, Step,
 };
-use utps_sim::Ctx;
+use utps_sim::{Ctx, PayloadRef};
 
 use crate::msg::OpKind;
 
@@ -66,8 +66,8 @@ impl KvStore {
 pub struct KvOpOutput {
     /// Whether the key was found / the write applied.
     pub ok: bool,
-    /// Value read (gets only).
-    pub value: Option<Box<[u8]>>,
+    /// Value read (gets only); an arena handle the response takes over.
+    pub value: Option<PayloadRef>,
     /// Items returned (scans only).
     pub scan_count: u32,
     /// Response payload bytes (value bytes for get, scan bytes for scan).
@@ -104,6 +104,10 @@ enum OpState {
     PutInsert(IndexInsert, ItemId),
     DelIndex(IndexRemove),
     Scan(IndexScan),
+    /// Malformed request (e.g. a PUT with no payload): completes immediately
+    /// as a miss so the client sees a protocol error instead of the server
+    /// aborting.
+    Failed,
     ScanCopy {
         pairs: Vec<(u64, ItemId)>,
         next: usize,
@@ -206,6 +210,20 @@ impl KvOp {
         }
     }
 
+    /// An already-failed operation for malformed requests: its first poll
+    /// reports a miss without touching the store.
+    pub fn failed(kind: OpKind, key: u64, bufs: OpBuffers) -> Self {
+        KvOp {
+            kind,
+            key,
+            value: None,
+            scan_skip: Vec::new(),
+            bufs,
+            state: OpState::Failed,
+            read_buf: Vec::new(),
+        }
+    }
+
     /// The target key.
     pub fn key(&self) -> u64 {
         self.key
@@ -236,12 +254,18 @@ impl KvOp {
                     .items
                     .read_into(ctx, *id, self.bufs.resp_addr, &mut self.read_buf)
                 {
-                    Step::Done(len) => Step::Done(KvOpOutput {
-                        ok: true,
-                        value: Some(self.read_buf.clone().into_boxed_slice()),
-                        scan_count: 0,
-                        payload: len,
-                    }),
+                    Step::Done(len) => {
+                        // The bytes just read into the response buffer become
+                        // the response payload: move them into NIC buffer
+                        // memory instead of cloning.
+                        let bytes = core::mem::take(&mut self.read_buf).into_boxed_slice();
+                        Step::Done(KvOpOutput {
+                            ok: true,
+                            value: Some(ctx.machine().payloads.alloc(bytes)),
+                            scan_count: 0,
+                            payload: len,
+                        })
+                    }
                     Step::Ready => Step::Ready,
                     Step::Blocked => Step::Blocked,
                 }
@@ -318,6 +342,7 @@ impl KvOp {
                 Step::Ready => Step::Ready,
                 Step::Blocked => Step::Blocked,
             },
+            OpState::Failed => Step::Done(KvOpOutput::miss()),
             OpState::Scan(fsm) => match fsm.poll(ctx, &store.index) {
                 Step::Done(pairs) => {
                     self.state = OpState::ScanCopy {
@@ -413,7 +438,10 @@ mod tests {
         eng.spawn(
             Some(0),
             StatClass::Other,
-            Box::new(Once { f: Some(f), out: Rc::clone(&out) }),
+            Box::new(Once {
+                f: Some(f),
+                out: Rc::clone(&out),
+            }),
         );
         eng.run_until(SimTime::from_millis(100));
         let r = out.borrow_mut().take().expect("did not run");
@@ -444,7 +472,8 @@ mod tests {
                 let out = drive(ctx, store, &mut op);
                 assert!(out.ok);
                 assert_eq!(out.payload, 32);
-                assert_eq!(out.value.as_deref(), Some(&[0xabu8; 32][..]));
+                let v = out.value.expect("get returns a value");
+                assert_eq!(ctx.machine().payloads.get(v), &[0xabu8; 32][..]);
                 let mut miss = KvOp::get(store, 10_000, BUFS);
                 assert!(!drive(ctx, store, &mut miss).ok);
             });

@@ -328,8 +328,8 @@ impl Tuner {
         // mid-storm would compound it (§3.5's reassignment is reserved for
         // genuine shifts).
         let fault_events = ctx.machine().faults.events();
-        let disturbed = fault_events > self.last_fault_events
-            || ctx.machine().faults.stall_active(now);
+        let disturbed =
+            fault_events > self.last_fault_events || ctx.machine().faults.stall_active(now);
         self.last_fault_events = fault_events;
         let mut start = false;
         match &mut self.state {
@@ -593,7 +593,9 @@ impl Tuner {
                 Tuner::apply_clos(ctx, world, w_mr);
                 let k = world.hot.target_size;
                 let n_cr = world.cfg.n_cr;
-                world.tuner_trace.push(TunerEvent::Applied(now, n_cr, k, w_mr));
+                world
+                    .tuner_trace
+                    .push(TunerEvent::Applied(now, n_cr, k, w_mr));
                 world.tuner_trace.push(TunerEvent::SearchEnded(now));
                 self.state = TState::Monitor;
                 self.window_end = now + params.window;

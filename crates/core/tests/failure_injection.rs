@@ -39,7 +39,11 @@ fn tiny_receive_ring_backpressures_without_loss() {
         ..base()
     };
     let (r, world) = run_utps_with_world(&cfg);
-    assert!(r.completed > 200, "only {} ops through a tiny ring", r.completed);
+    assert!(
+        r.completed > 200,
+        "only {} ops through a tiny ring",
+        r.completed
+    );
     assert_eq!(r.not_found, 0);
     // The ring saw real backpressure: its head stayed bounded by slot reuse.
     assert!(world.ring.head() > 64, "ring never wrapped");
@@ -78,7 +82,11 @@ fn minimal_worker_and_batch_configuration() {
         ..base()
     };
     let (r, _) = run_utps_with_world(&cfg);
-    assert!(r.completed > 100, "degenerate config served {}", r.completed);
+    assert!(
+        r.completed > 100,
+        "degenerate config served {}",
+        r.completed
+    );
     assert_eq!(r.not_found, 0);
 }
 

@@ -127,9 +127,15 @@ fn owner_mapping_switches_at_the_announced_slot() {
         adopted: vec![false; 8],
     });
     // Before the switch slot: old modulo; at/after: new modulo.
-    assert_eq!(eng.world.owner_of(switch_seq - 1), ((switch_seq - 1) % 3) as usize);
+    assert_eq!(
+        eng.world.owner_of(switch_seq - 1),
+        ((switch_seq - 1) % 3) as usize
+    );
     assert_eq!(eng.world.owner_of(switch_seq), (switch_seq % 5) as usize);
-    assert_eq!(eng.world.owner_of(switch_seq + 7), ((switch_seq + 7) % 5) as usize);
+    assert_eq!(
+        eng.world.owner_of(switch_seq + 7),
+        ((switch_seq + 7) % 5) as usize
+    );
     // While both CR ranges might hold unswitched workers, descriptors only
     // target the intersection of old and new MR sets.
     assert_eq!(eng.world.mr_lo(), 5);

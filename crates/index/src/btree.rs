@@ -67,9 +67,7 @@ impl Node {
 
     /// Exact-match slot in a leaf.
     fn leaf_slot(&self, key: u64) -> Option<usize> {
-        self.keys[..self.count as usize]
-            .binary_search(&key)
-            .ok()
+        self.keys[..self.count as usize].binary_search(&key).ok()
     }
 
     /// Insertion point preserving sort order.
@@ -263,7 +261,10 @@ impl BplusTree {
     /// Panics if the keys are not strictly ascending.
     pub fn bulk_load(pairs: &[(u64, ItemId)]) -> Self {
         for w in pairs.windows(2) {
-            assert!(w[0].0 < w[1].0, "bulk_load requires strictly ascending keys");
+            assert!(
+                w[0].0 < w[1].0,
+                "bulk_load requires strictly ascending keys"
+            );
         }
         let mut tree = BplusTree::new();
         if pairs.is_empty() {
@@ -866,7 +867,10 @@ mod tests {
         eng.spawn(
             Some(0),
             StatClass::Other,
-            Box::new(Once { f: Some(f), out: Rc::clone(&out) }),
+            Box::new(Once {
+                f: Some(f),
+                out: Rc::clone(&out),
+            }),
         );
         eng.run_until(SimTime::from_millis(100));
         let r = out.borrow_mut().take().expect("did not run");
@@ -980,8 +984,13 @@ mod tests {
             let mut scan = TreeScan::new(100, 140, 100);
             let got = drive(ctx, tree, |c, t| scan.poll(c, t));
             let keys: Vec<u64> = got.iter().map(|&(k, _)| k).collect();
-            assert_eq!(keys, vec![100, 102, 104, 106, 108, 110, 112, 114, 116, 118,
-                                  120, 122, 124, 126, 128, 130, 132, 134, 136, 138, 140]);
+            assert_eq!(
+                keys,
+                vec![
+                    100, 102, 104, 106, 108, 110, 112, 114, 116, 118, 120, 122, 124, 126, 128, 130,
+                    132, 134, 136, 138, 140
+                ]
+            );
         });
     }
 
@@ -1028,7 +1037,7 @@ mod tests {
         let ((), _tree) = with_tree(BplusTree::bulk_load(&pairs), |ctx, tree| {
             let mut get = TreeGet::new(5);
             assert_eq!(get.poll(ctx, tree), Step::Ready); // header
-            // Writer bumps the leaf version between reader polls.
+                                                          // Writer bumps the leaf version between reader polls.
             let root = tree.root;
             assert!(tree.nodes[root].lock.try_lock(ctx));
             tree.nodes[root].lock.unlock(ctx);
@@ -1049,7 +1058,9 @@ mod tests {
             let mut model: BTreeMap<u64, ItemId> = BTreeMap::new();
             let mut state = 98765u64;
             for i in 0..3000u64 {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let key = (state >> 40) % 512;
                 match state % 3 {
                     0 => {

@@ -219,8 +219,16 @@ impl CuckooMap {
             parent_slot: usize,
         }
         let mut nodes = vec![
-            Node { bucket: b1, parent: usize::MAX, parent_slot: 0 },
-            Node { bucket: b2, parent: usize::MAX, parent_slot: 0 },
+            Node {
+                bucket: b1,
+                parent: usize::MAX,
+                parent_slot: 0,
+            },
+            Node {
+                bucket: b2,
+                parent: usize::MAX,
+                parent_slot: 0,
+            },
         ];
         let mut i = 0;
         while i < nodes.len() && nodes.len() < MAX_BFS_NODES {
@@ -357,7 +365,11 @@ impl CuckooInsert {
     }
 
     /// Advances the insert. Never holds locks across a [`Step::Blocked`].
-    pub fn poll(&mut self, ctx: &mut Ctx<'_>, map: &mut CuckooMap) -> Step<Result<(), InsertError>> {
+    pub fn poll(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        map: &mut CuckooMap,
+    ) -> Step<Result<(), InsertError>> {
         let (b1, b2) = (map.b1(self.key), map.b2(self.key));
         if !self.prefetched {
             ctx.compute_ps(HASH_COST);
@@ -505,7 +517,10 @@ mod tests {
         eng.spawn(
             Some(0),
             StatClass::Other,
-            Box::new(Once { f: Some(f), out: Rc::clone(&out) }),
+            Box::new(Once {
+                f: Some(f),
+                out: Rc::clone(&out),
+            }),
         );
         eng.run_until(SimTime::from_millis(10));
         let r = out.borrow_mut().take().expect("did not run");

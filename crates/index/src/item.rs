@@ -229,8 +229,8 @@ impl Default for ItemStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use utps_sim::{Engine, MachineConfig, Process, StatClass};
     use utps_sim::time::SimTime;
+    use utps_sim::{Engine, MachineConfig, Process, StatClass};
 
     /// Runs `f` once inside a one-step simulated process.
     fn with_ctx<R: 'static>(f: impl FnOnce(&mut Ctx<'_>, &mut ItemStore) -> R + 'static) -> R {
@@ -252,7 +252,10 @@ mod tests {
         eng.spawn(
             Some(0),
             StatClass::Other,
-            Box::new(Once { f: Some(f), out: std::rc::Rc::clone(&out) }),
+            Box::new(Once {
+                f: Some(f),
+                out: std::rc::Rc::clone(&out),
+            }),
         );
         eng.run_until(SimTime::from_millis(1));
         let r = out.borrow_mut().take();

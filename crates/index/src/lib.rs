@@ -34,4 +34,6 @@ pub use btree::BplusTree;
 pub use cuckoo::CuckooMap;
 pub use item::{ItemId, ItemStore};
 pub use step::Step;
-pub use unified::{Index, IndexGet, IndexInsert, IndexInsertError, IndexKind, IndexRemove, IndexScan};
+pub use unified::{
+    Index, IndexGet, IndexInsert, IndexInsertError, IndexKind, IndexRemove, IndexScan,
+};

@@ -249,7 +249,10 @@ mod tests {
         eng.spawn(
             Some(0),
             StatClass::Other,
-            Box::new(Once { f: Some(f), out: Rc::clone(&out) }),
+            Box::new(Once {
+                f: Some(f),
+                out: Rc::clone(&out),
+            }),
         );
         eng.run_until(SimTime::from_millis(100));
         let r = out.borrow_mut().take().expect("did not run");

@@ -95,11 +95,8 @@ fn check_against_model(kind: IndexKind, ops: Vec<MapOp>) {
                     if index.supports_scan() {
                         let mut scan = IndexScan::new(index, lo, u64::MAX, n);
                         let got = drive(ctx, index, |c, i| scan.poll(c, i));
-                        let expect: Vec<(u64, u32)> = model
-                            .range(lo..)
-                            .take(n)
-                            .map(|(&k, &v)| (k, v))
-                            .collect();
+                        let expect: Vec<(u64, u32)> =
+                            model.range(lo..).take(n).map(|(&k, &v)| (k, v)).collect();
                         assert_eq!(got, expect, "scan [{lo}..] x{n}");
                     }
                 }

@@ -24,13 +24,19 @@ impl SizeRange {
 impl From<Range<usize>> for SizeRange {
     fn from(r: Range<usize>) -> Self {
         assert!(r.start < r.end, "empty collection size range");
-        SizeRange { lo: r.start, hi: r.end }
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
     }
 }
 
 impl From<RangeInclusive<usize>> for SizeRange {
     fn from(r: RangeInclusive<usize>) -> Self {
-        SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end() + 1,
+        }
     }
 }
 
@@ -43,7 +49,10 @@ impl From<usize> for SizeRange {
 /// A `Vec` whose length is drawn from `size` and whose elements come from
 /// `element`.
 pub fn vec<E: Strategy>(element: E, size: impl Into<SizeRange>) -> VecStrategy<E> {
-    VecStrategy { element, size: size.into() }
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
 }
 
 /// See [`vec`].
@@ -69,7 +78,10 @@ where
     E: Strategy,
     E::Value: Ord,
 {
-    BTreeSetStrategy { element, size: size.into() }
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
 }
 
 /// See [`btree_set`].

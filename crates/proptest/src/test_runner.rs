@@ -75,7 +75,12 @@ pub struct PanicGuard {
 impl PanicGuard {
     /// Arms the guard with this case's formatted inputs.
     pub fn arm(test: &'static str, case: u32, values: String) -> Self {
-        PanicGuard { test, case, values, armed: true }
+        PanicGuard {
+            test,
+            case,
+            values,
+            armed: true,
+        }
     }
 
     /// Declares the case passed; the guard prints nothing.

@@ -204,6 +204,100 @@ impl<T> Default for Arena<T> {
     }
 }
 
+/// A handle to request/response payload bytes held in a [`PayloadArena`].
+///
+/// The handle is `Copy` and carries its length so wire-size accounting
+/// (`Request::wire_len` and friends) needs no arena access. Ownership of the
+/// underlying bytes is linear by convention: exactly one holder consumes the
+/// ref with [`PayloadArena::take`] or releases it with [`PayloadArena::free`];
+/// fault redelivery deep-copies via [`PayloadArena::dup`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PayloadRef {
+    id: u32,
+    len: u32,
+}
+
+impl PayloadRef {
+    /// Length of the referenced payload in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the payload is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// NIC buffer memory: the single home of message payload bytes.
+///
+/// Requests and responses carry [`PayloadRef`] handles instead of owned
+/// byte boxes, so a body is written once (at the client, or when a value is
+/// read out of the store) and referenced by descriptor at every later hop —
+/// the paper's "copy directly between network buffers and KV storage".
+///
+/// The arena is pure host-side bookkeeping: it charges no simulated time.
+/// (Simulated DMA/memory costs for payloads are charged where they always
+/// were — at ring DMA and response transmission.)
+#[derive(Default)]
+pub struct PayloadArena {
+    slots: Arena<Box<[u8]>>,
+}
+
+impl PayloadArena {
+    /// Empty arena.
+    pub fn new() -> Self {
+        PayloadArena::default()
+    }
+
+    /// Stores `bytes` and returns the handle.
+    pub fn alloc(&mut self, bytes: Box<[u8]>) -> PayloadRef {
+        let len = bytes.len() as u32;
+        PayloadRef {
+            id: self.slots.insert(bytes),
+            len,
+        }
+    }
+
+    /// Borrows the bytes behind `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` was already consumed or freed.
+    pub fn get(&self, r: PayloadRef) -> &[u8] {
+        self.slots.get(r.id).expect("payload ref already consumed")
+    }
+
+    /// Consumes `r`, moving the bytes out (the zero-copy handoff into KV
+    /// storage).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` was already consumed or freed.
+    pub fn take(&mut self, r: PayloadRef) -> Box<[u8]> {
+        self.slots.remove(r.id)
+    }
+
+    /// Releases `r` without reading it (dropped message, consumed response).
+    pub fn free(&mut self, r: PayloadRef) {
+        self.slots.remove(r.id);
+    }
+
+    /// Deep-copies the payload behind `r` — only for fault redelivery,
+    /// where a duplicated message genuinely occupies a second NIC buffer.
+    pub fn dup(&mut self, r: PayloadRef) -> PayloadRef {
+        let bytes: Box<[u8]> = self.slots[r.id].clone();
+        self.alloc(bytes)
+    }
+
+    /// Number of live payloads (leak detection in tests).
+    pub fn live(&self) -> usize {
+        self.slots.len()
+    }
+}
+
 impl<T> core::ops::Index<u32> for Arena<T> {
     type Output = T;
 
@@ -286,5 +380,38 @@ mod tests {
         let i = a.insert(0u64);
         let j = a.insert(1u64);
         assert_ne!(a.addr_of(i), a.addr_of(j));
+    }
+
+    #[test]
+    fn payload_ref_lifetime() {
+        // Linear ownership: alloc → (dup)* → exactly one take/free per ref,
+        // with live() tracking every outstanding handle.
+        let mut p = PayloadArena::new();
+        let a = p.alloc(vec![1, 2, 3].into_boxed_slice());
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+        assert_eq!(p.live(), 1);
+        assert_eq!(p.get(a), &[1, 2, 3]);
+
+        let d = p.dup(a);
+        assert_ne!(a, d, "dup must be an independent handle");
+        assert_eq!(p.live(), 2);
+
+        let bytes = p.take(a);
+        assert_eq!(&bytes[..], &[1, 2, 3]);
+        assert_eq!(p.live(), 1, "taking the original leaves the dup live");
+        assert_eq!(p.get(d), &[1, 2, 3], "dup is a deep copy");
+
+        p.free(d);
+        assert_eq!(p.live(), 0, "all refs consumed: no leaks");
+    }
+
+    #[test]
+    #[should_panic(expected = "remove of free arena slot")]
+    fn payload_double_consume_panics() {
+        let mut p = PayloadArena::new();
+        let r = p.alloc(vec![9].into_boxed_slice());
+        let _ = p.take(r);
+        p.free(r); // the ref was already consumed: linearity violation
     }
 }

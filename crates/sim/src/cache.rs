@@ -303,8 +303,12 @@ impl CacheHierarchy {
         };
         let ddio_mask = ((1u32 << c.ddio_ways) - 1) << (c.llc_ways - c.ddio_ways);
         CacheHierarchy {
-            l1: (0..cores).map(|_| PrivCache::new(c.l1_sets, c.l1_ways)).collect(),
-            l2: (0..cores).map(|_| PrivCache::new(c.l2_sets, c.l2_ways)).collect(),
+            l1: (0..cores)
+                .map(|_| PrivCache::new(c.l1_sets, c.l1_ways))
+                .collect(),
+            l2: (0..cores)
+                .map(|_| PrivCache::new(c.l2_sets, c.l2_ways))
+                .collect(),
             llc: Llc::new(c.llc_sets, c.llc_ways),
             dir: FxHashMap::default(),
             clos: vec![full; cores],
@@ -465,7 +469,14 @@ impl CacheHierarchy {
     /// and records when the data will be ready; a later access pays only the
     /// remaining latency. Prefetches beyond the core's MSHR budget are
     /// dropped (as real cores do), bounding memory-level parallelism.
-    pub fn prefetch(&mut self, core: usize, class: StatClass, addr: usize, len: usize, now: SimTime) {
+    pub fn prefetch(
+        &mut self,
+        core: usize,
+        class: StatClass,
+        addr: usize,
+        len: usize,
+        now: SimTime,
+    ) {
         let (first, last) = line_span(addr, len, self.cfg.cache.line);
         for line in first..=last {
             if self.prefetched[core].contains_key(&line) {
@@ -535,7 +546,13 @@ impl CacheHierarchy {
     }
 
     /// Core access path for one line. Returns (cost, where it was served).
-    fn access_line(&mut self, core: usize, line: u64, write: bool, now: SimTime) -> (u64, AccessKind) {
+    fn access_line(
+        &mut self,
+        core: usize,
+        line: u64,
+        write: bool,
+        now: SimTime,
+    ) -> (u64, AccessKind) {
         let cost = &self.cfg.cost;
         let (l1_hit, l2_hit, llc_hit, dram, remote_dirty, invalidate_extra) = (
             cost.l1_hit,
@@ -549,7 +566,11 @@ impl CacheHierarchy {
         // Software prefetch in flight? Pay only the remaining latency.
         if let Some(ready) = self.prefetched[core].remove(&line) {
             let wait = ready.since(now);
-            let extra = if write { self.rfo_upgrade(core, line) } else { 0 };
+            let extra = if write {
+                self.rfo_upgrade(core, line)
+            } else {
+                0
+            };
             // The fill already happened at prefetch time; refresh recency.
             self.l1[core].lookup(line);
             if write {
@@ -694,7 +715,9 @@ impl CacheHierarchy {
         let others = self
             .dir
             .get(&line)
-            .map(|d| d.sharers & !(1u64 << core) != 0 || matches!(d.owner, Some(o) if o as usize != core))
+            .map(|d| {
+                d.sharers & !(1u64 << core) != 0 || matches!(d.owner, Some(o) if o as usize != core)
+            })
             .unwrap_or(false);
         if others {
             self.invalidate_private_except(line, core);
@@ -942,7 +965,10 @@ mod tests {
         h.prefetch(0, StatClass::Other, 0xB000, 8, t1);
         let half = t1 + h.cfg.cost.dram / 2;
         let c2 = h.access(0, StatClass::Other, 0xB000, 8, false, half);
-        assert_eq!(c2, h.cfg.cost.dram - h.cfg.cost.dram / 2 + h.cfg.cost.l1_hit);
+        assert_eq!(
+            c2,
+            h.cfg.cost.dram - h.cfg.cost.dram / 2 + h.cfg.cost.l1_hit
+        );
     }
 
     #[test]
@@ -980,14 +1006,19 @@ mod tests {
         let mut storm_total = 0;
         for i in 0..50u64 {
             let core = (i % 8) as usize;
-            storm_total += h.atomic_hold(core, StatClass::Other, addr, SimTime(5_000_000 + i * 1_000), 10_000);
+            storm_total += h.atomic_hold(
+                core,
+                StatClass::Other,
+                addr,
+                SimTime(5_000_000 + i * 1_000),
+                10_000,
+            );
         }
         assert!(
             storm_total > solo_total * 5,
             "storm {storm_total} vs solo {solo_total}"
         );
     }
-
 
     #[test]
     fn dram_channel_saturates_at_configured_bandwidth() {
@@ -1016,10 +1047,13 @@ mod tests {
             lines += 1;
         }
         let rate_mlps = lines as f64 / 100e-6 / 1e6; // million lines/s
-        // Capacity = 1/2.2ns = 454 M lines/s; unthrottled 8 cores at 82 ns
-        // latency would reach ~97 M/s... so use more pressure per core: this
-        // test instead checks we never exceed capacity plus slack.
-        assert!(rate_mlps < 470.0, "rate {rate_mlps} exceeds channel capacity");
+                                                     // Capacity = 1/2.2ns = 454 M lines/s; unthrottled 8 cores at 82 ns
+                                                     // latency would reach ~97 M/s... so use more pressure per core: this
+                                                     // test instead checks we never exceed capacity plus slack.
+        assert!(
+            rate_mlps < 470.0,
+            "rate {rate_mlps} exceeds channel capacity"
+        );
         // And with prefetch-driven parallelism the cap must bind from below:
         let mut h2 = CacheHierarchy::new(&cfg, 8);
         let mut clocks = [SimTime::ZERO; 8];

@@ -57,9 +57,9 @@ impl Default for CacheConfig {
         CacheConfig {
             line: 64,
             l1_sets: 64,
-            l1_ways: 12,  // 48 KB
+            l1_ways: 12, // 48 KB
             l2_sets: 2048,
-            l2_ways: 10,  // 1.25 MB
+            l2_ways: 10, // 1.25 MB
             llc_sets: 8192,
             llc_ways: 12, // 6 MB
             ddio_ways: 2,
@@ -121,19 +121,19 @@ pub struct CostConfig {
 impl Default for CostConfig {
     fn default() -> Self {
         CostConfig {
-            l1_hit: 1_200,             // ~1.2 ns (4-5 cycles)
-            l2_hit: 4_000,             // ~4 ns
-            llc_hit: 14_000,           // ~14 ns
-            dram: 82_000,              // ~82 ns
-            remote_dirty: 60_000,      // ~60 ns cross-core snoop
-            atomic_extra: 12_000,      // lock-prefixed op overhead
-            invalidate_extra: 25_000,  // RFO broadcast when line is shared
-            dram_stream: 8_000,        // ~8 GB/s per-core streaming
-            prefetch_issue: 1_500,     // prefetcht0 dispatch
-            dram_line_service: 2_200,  // ~29 GB/s random-access per socket
-            mshr: 10,                  // Ice Lake-class L1D fill buffers
-            fsm_switch: 3_500,         // stackless coroutine resume
-            stage_transition: 28_000,  // L1i/BTB refill across stages
+            l1_hit: 1_200,            // ~1.2 ns (4-5 cycles)
+            l2_hit: 4_000,            // ~4 ns
+            llc_hit: 14_000,          // ~14 ns
+            dram: 82_000,             // ~82 ns
+            remote_dirty: 60_000,     // ~60 ns cross-core snoop
+            atomic_extra: 12_000,     // lock-prefixed op overhead
+            invalidate_extra: 25_000, // RFO broadcast when line is shared
+            dram_stream: 8_000,       // ~8 GB/s per-core streaming
+            prefetch_issue: 1_500,    // prefetcht0 dispatch
+            dram_line_service: 2_200, // ~29 GB/s random-access per socket
+            mshr: 10,                 // Ice Lake-class L1D fill buffers
+            fsm_switch: 3_500,        // stackless coroutine resume
+            stage_transition: 28_000, // L1i/BTB refill across stages
             spin_quantum: 18 * NANOS,
             poll_quantum: 16 * NANOS,
         }

@@ -50,6 +50,9 @@ pub struct Machine {
     pub registry: crate::metrics::MetricsRegistry,
     /// Active fault plan; the zero plan by default. See [`crate::fault`].
     pub faults: crate::fault::FaultPlan,
+    /// NIC buffer memory holding message payload bytes; see
+    /// [`crate::arena::PayloadArena`].
+    pub payloads: crate::arena::PayloadArena,
 }
 
 impl Machine {
@@ -60,6 +63,7 @@ impl Machine {
             cfg,
             registry: crate::metrics::MetricsRegistry::new(),
             faults: crate::fault::FaultPlan::inactive(),
+            payloads: crate::arena::PayloadArena::new(),
         }
     }
 }
@@ -372,8 +376,26 @@ mod tests {
         let mut fired: Vec<(SimTime, usize)> = Vec::new();
         let mut eng = Engine::new(MachineConfig::tiny(), 1, ());
         let p = &mut fired as *mut _;
-        eng.spawn(None, StatClass::Other, Box::new(Ticker { period_ns: 30, fired: p, id: 0, remaining: 4 }));
-        eng.spawn(None, StatClass::Other, Box::new(Ticker { period_ns: 20, fired: p, id: 1, remaining: 6 }));
+        eng.spawn(
+            None,
+            StatClass::Other,
+            Box::new(Ticker {
+                period_ns: 30,
+                fired: p,
+                id: 0,
+                remaining: 4,
+            }),
+        );
+        eng.spawn(
+            None,
+            StatClass::Other,
+            Box::new(Ticker {
+                period_ns: 20,
+                fired: p,
+                id: 1,
+                remaining: 6,
+            }),
+        );
         eng.run_until(SimTime::from_nanos(1_000));
         // Events must be globally time-ordered.
         for w in fired.windows(2) {
@@ -430,12 +452,16 @@ mod tests {
             let mut eng = Engine::new(MachineConfig::tiny(), 2, ());
             let p = &mut fired as *mut _;
             for id in 0..4 {
-                eng.spawn(None, StatClass::Other, Box::new(Ticker {
-                    period_ns: 10 + id as u64 * 7,
-                    fired: p,
-                    id,
-                    remaining: 50,
-                }));
+                eng.spawn(
+                    None,
+                    StatClass::Other,
+                    Box::new(Ticker {
+                        period_ns: 10 + id as u64 * 7,
+                        fired: p,
+                        id,
+                        remaining: 50,
+                    }),
+                );
             }
             eng.run_until(SimTime::from_micros(100));
             fired

@@ -124,7 +124,11 @@ impl FaultPlan {
     pub fn new(cfg: FaultConfig, run_seed: u64) -> Self {
         let mut state = run_seed ^ cfg.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
         let rng = splitmix64(&mut state);
-        FaultPlan { cfg, rng, events: 0 }
+        FaultPlan {
+            cfg,
+            rng,
+            events: 0,
+        }
     }
 
     /// The zero plan: injects nothing, draws nothing.
@@ -281,9 +285,17 @@ mod tests {
             }
         }
         let frac = |c: i32| c as f64 / n as f64;
-        assert!((frac(drops) - 0.2).abs() < 0.02, "drop rate {}", frac(drops));
+        assert!(
+            (frac(drops) - 0.2).abs() < 0.02,
+            "drop rate {}",
+            frac(drops)
+        );
         assert!((frac(dups) - 0.1).abs() < 0.02, "dup rate {}", frac(dups));
-        assert!((frac(delays) - 0.05).abs() < 0.02, "delay rate {}", frac(delays));
+        assert!(
+            (frac(delays) - 0.05).abs() < 0.02,
+            "delay rate {}",
+            frac(delays)
+        );
         assert_eq!(plan.events() as i32, drops + dups + delays);
     }
 
@@ -291,8 +303,16 @@ mod tests {
     fn stall_windows_cover_their_span() {
         let cfg = FaultConfig {
             stalls: vec![
-                StallWindow { core: 2, at_ps: 1_000, dur_ps: 500 },
-                StallWindow { core: 2, at_ps: 1_200, dur_ps: 900 },
+                StallWindow {
+                    core: 2,
+                    at_ps: 1_000,
+                    dur_ps: 500,
+                },
+                StallWindow {
+                    core: 2,
+                    at_ps: 1_200,
+                    dur_ps: 900,
+                },
             ],
             ..FaultConfig::default()
         };

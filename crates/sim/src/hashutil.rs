@@ -25,10 +25,7 @@ pub fn mix64(mut x: u64) -> u64 {
 /// Combines two 64-bit values into one well-mixed value.
 #[inline]
 pub fn mix2(a: u64, b: u64) -> u64 {
-    mix64(
-        a.wrapping_add(0x9e3779b97f4a7c15)
-            ^ b.rotate_left(32).wrapping_mul(0xd6e8feb86659fd93),
-    )
+    mix64(a.wrapping_add(0x9e3779b97f4a7c15) ^ b.rotate_left(32).wrapping_mul(0xd6e8feb86659fd93))
 }
 
 /// An Fx-style hasher specialized for integer keys.

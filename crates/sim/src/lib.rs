@@ -34,12 +34,12 @@ pub mod nic;
 pub mod time;
 pub mod vaddr;
 
-pub use arena::Arena;
+pub use arena::{Arena, PayloadArena, PayloadRef};
 pub use cache::{CacheHierarchy, StatClass};
 pub use config::{CacheConfig, CostConfig, MachineConfig, NetConfig};
 pub use engine::{Ctx, Engine, Machine, ProcId, Process};
 pub use fault::{FaultConfig, FaultPlan, RecvFate, StallWindow};
-pub use nic::{DelayQueue, Fabric, Pipe};
 pub use lock::{OptLock, SimLock, VersionSeqLock};
 pub use metrics::{AccessKind, Metrics, MetricsRegistry, MetricsSnapshot};
+pub use nic::{DelayQueue, Fabric, Pipe};
 pub use time::{SimTime, MICROS, MILLIS, NANOS, SECS};

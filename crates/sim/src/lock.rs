@@ -233,12 +233,19 @@ mod tests {
             eng.spawn(
                 Some(core),
                 StatClass::Other,
-                Box::new(Locker { hold_ns: 200, rounds: 20, holding: false }),
+                Box::new(Locker {
+                    hold_ns: 200,
+                    rounds: 20,
+                    holding: false,
+                }),
             );
         }
         eng.run_until(SimTime::from_micros(200));
         assert_eq!(eng.world.counter, 40);
-        assert!(eng.machine().cache.metrics.lock_spins > 0, "no contention seen");
+        assert!(
+            eng.machine().cache.metrics.lock_spins > 0,
+            "no contention seen"
+        );
         assert_eq!(eng.machine().cache.metrics.lock_acquires, 40);
     }
 
@@ -303,7 +310,11 @@ mod tests {
         };
         let mut eng = Engine::new(MachineConfig::tiny(), 1, world);
         let p = &mut outcomes as *mut _;
-        eng.spawn(Some(0), StatClass::Other, Box::new(ReadValidate { outcome: p }));
+        eng.spawn(
+            Some(0),
+            StatClass::Other,
+            Box::new(ReadValidate { outcome: p }),
+        );
         eng.run_until(SimTime::from_micros(10));
         assert_eq!(outcomes, vec![true; 5]);
     }

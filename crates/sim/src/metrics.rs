@@ -309,7 +309,11 @@ impl MetricsSnapshot {
             }
             out.push_str(&format!("\n    \"{}\": {v}", json_escape(name)));
         }
-        out.push_str(if self.counters.is_empty() { "},\n" } else { "\n  },\n" });
+        out.push_str(if self.counters.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
         out.push_str("  \"gauges\": {");
         for (i, (name, v)) in self.gauges.iter().enumerate() {
             if i > 0 {
@@ -317,7 +321,11 @@ impl MetricsSnapshot {
             }
             out.push_str(&format!("\n    \"{}\": {v}", json_escape(name)));
         }
-        out.push_str(if self.gauges.is_empty() { "},\n" } else { "\n  },\n" });
+        out.push_str(if self.gauges.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
         out.push_str("  \"histograms\": {");
         for (i, h) in self.hists.iter().enumerate() {
             if i > 0 {
@@ -338,7 +346,11 @@ impl MetricsSnapshot {
                 h.p999,
             ));
         }
-        out.push_str(if self.hists.is_empty() { "}\n" } else { "\n  }\n" });
+        out.push_str(if self.hists.is_empty() {
+            "}\n"
+        } else {
+            "\n  }\n"
+        });
         out.push('}');
         out
     }

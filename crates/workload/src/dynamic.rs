@@ -133,14 +133,7 @@ mod tests {
     fn rejects_nonzero_start() {
         DynamicWorkload::new(vec![Phase {
             start_ns: 5,
-            workload: Box::new(YcsbWorkload::new(
-                Mix::C,
-                KeyDist::uniform(10),
-                8,
-                50,
-                0,
-                0,
-            )),
+            workload: Box::new(YcsbWorkload::new(Mix::C, KeyDist::uniform(10), 8, 50, 0, 0)),
         }]);
     }
 

@@ -38,10 +38,9 @@ impl Op {
     /// The key this operation targets.
     pub fn key(&self) -> u64 {
         match *self {
-            Op::Get { key }
-            | Op::Put { key, .. }
-            | Op::Scan { key, .. }
-            | Op::Delete { key } => key,
+            Op::Get { key } | Op::Put { key, .. } | Op::Scan { key, .. } | Op::Delete { key } => {
+                key
+            }
         }
     }
 
@@ -66,19 +65,54 @@ pub struct Mix {
 
 impl Mix {
     /// YCSB-A: 50% put, 50% get.
-    pub const A: Mix = Mix { put: 0.5, get: 0.5, scan: 0.0, delete: 0.0 };
+    pub const A: Mix = Mix {
+        put: 0.5,
+        get: 0.5,
+        scan: 0.0,
+        delete: 0.0,
+    };
     /// YCSB-B: 5% put, 95% get.
-    pub const B: Mix = Mix { put: 0.05, get: 0.95, scan: 0.0, delete: 0.0 };
+    pub const B: Mix = Mix {
+        put: 0.05,
+        get: 0.95,
+        scan: 0.0,
+        delete: 0.0,
+    };
     /// YCSB-C: 100% get.
-    pub const C: Mix = Mix { put: 0.0, get: 1.0, scan: 0.0, delete: 0.0 };
+    pub const C: Mix = Mix {
+        put: 0.0,
+        get: 1.0,
+        scan: 0.0,
+        delete: 0.0,
+    };
     /// YCSB-E: 5% put, 95% scan.
-    pub const E: Mix = Mix { put: 0.05, get: 0.0, scan: 0.95, delete: 0.0 };
+    pub const E: Mix = Mix {
+        put: 0.05,
+        get: 0.0,
+        scan: 0.95,
+        delete: 0.0,
+    };
     /// The paper's custom 100%-put mix.
-    pub const PUT_ONLY: Mix = Mix { put: 1.0, get: 0.0, scan: 0.0, delete: 0.0 };
+    pub const PUT_ONLY: Mix = Mix {
+        put: 1.0,
+        get: 0.0,
+        scan: 0.0,
+        delete: 0.0,
+    };
     /// Scan-only (Figure 8a).
-    pub const SCAN_ONLY: Mix = Mix { put: 0.0, get: 0.0, scan: 1.0, delete: 0.0 };
+    pub const SCAN_ONLY: Mix = Mix {
+        put: 0.0,
+        get: 0.0,
+        scan: 1.0,
+        delete: 0.0,
+    };
     /// A churn mix exercising the full API including deletes.
-    pub const CHURN: Mix = Mix { put: 0.3, get: 0.5, scan: 0.0, delete: 0.2 };
+    pub const CHURN: Mix = Mix {
+        put: 0.3,
+        get: 0.5,
+        scan: 0.0,
+        delete: 0.2,
+    };
 
     /// Validates that the fractions sum to 1.
     pub fn check(&self) {
@@ -222,14 +256,23 @@ mod tests {
     #[test]
     #[should_panic(expected = "mix must sum to 1")]
     fn bad_mix_rejected() {
-        let bad = Mix { put: 0.5, get: 0.0, scan: 0.0, delete: 0.0 };
+        let bad = Mix {
+            put: 0.5,
+            get: 0.0,
+            scan: 0.0,
+            delete: 0.0,
+        };
         YcsbWorkload::new(bad, KeyDist::uniform(10), 8, 50, 0, 0);
     }
 
     #[test]
     fn op_accessors() {
         assert_eq!(Op::Get { key: 3 }.key(), 3);
-        assert!(Op::Put { key: 1, value_len: 8 }.is_put());
+        assert!(Op::Put {
+            key: 1,
+            value_len: 8
+        }
+        .is_put());
         assert!(!Op::Scan { key: 2, count: 5 }.is_put());
         assert_eq!(Op::Delete { key: 9 }.key(), 9);
     }

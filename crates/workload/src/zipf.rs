@@ -170,7 +170,9 @@ impl KeyDist {
         match self {
             KeyDist::Uniform { .. } => Vec::new(),
             KeyDist::Zipf(z) => {
-                let mut out: Vec<u64> = (0..(k as u64).min(z.n())).map(|r| z.key_of_rank(r)).collect();
+                let mut out: Vec<u64> = (0..(k as u64).min(z.n()))
+                    .map(|r| z.key_of_rank(r))
+                    .collect();
                 out.dedup();
                 out
             }
@@ -201,7 +203,9 @@ mod tests {
         // Under θ=0.99, the top-100 ranks carry ≈ 40% of the mass for
         // n=100k: p(≤100) = zeta(100)/zeta(100000).
         let expect: f64 = (1..=100).map(|i| 1.0 / (i as f64).powf(0.99)).sum::<f64>()
-            / (1..=100_000).map(|i| 1.0 / (i as f64).powf(0.99)).sum::<f64>();
+            / (1..=100_000)
+                .map(|i| 1.0 / (i as f64).powf(0.99))
+                .sum::<f64>();
         let got = head as f64 / n as f64;
         assert!((got - expect).abs() < 0.02, "got {got}, expect {expect}");
     }

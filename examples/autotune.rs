@@ -46,10 +46,18 @@ fn main() {
     };
     let r = run_utps(&cfg);
 
-    println!("value size switches 512B -> 8B at t = {:.0} ms\n", (warmup + switch) as f64 / MILLIS as f64);
+    println!(
+        "value size switches 512B -> 8B at t = {:.0} ms\n",
+        (warmup + switch) as f64 / MILLIS as f64
+    );
     println!("{:>8}  {:>8}", "t (ms)", "Mops");
     for (t, mops) in &r.timeline {
-        println!("{:>8.1}  {:>8.2} {}", t * 1e3, mops, "*".repeat((mops / 2.0) as usize));
+        println!(
+            "{:>8.1}  {:>8.2} {}",
+            t * 1e3,
+            mops,
+            "*".repeat((mops / 2.0) as usize)
+        );
     }
     println!("\ntuner events:");
     for e in &r.tuner_events {

@@ -46,8 +46,8 @@ fn main() {
         );
         if system == SystemKind::Utps {
             println!(
-                "          CR layer served {:.0}% of requests locally (hot cache), "
-                , r.cr_local_frac * 100.0
+                "          CR layer served {:.0}% of requests locally (hot cache), ",
+                r.cr_local_frac * 100.0
             );
             println!(
                 "          per-layer LLC miss: CR {:.1}% vs MR {:.1}% — the paper's split",

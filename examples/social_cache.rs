@@ -42,7 +42,10 @@ fn main() {
         };
         let mut best: Option<RunResult> = None;
         for n_cr in [2usize, 3, 4] {
-            let r = run_utps(&RunConfig { n_cr, ..base.clone() });
+            let r = run_utps(&RunConfig {
+                n_cr,
+                ..base.clone()
+            });
             println!(
                 "  split {}CR/{}MR: {:5.2} Mops  (CR-local {:4.1}%)",
                 n_cr,

@@ -107,23 +107,51 @@ fn main() {
                 }
             }
             "--mix" => mix = parse_mix(&next(&mut it, arg)),
-            "--theta" => theta = next(&mut it, arg).parse().unwrap_or_else(|_| die("bad --theta")),
-            "--value" => value = next(&mut it, arg).parse().unwrap_or_else(|_| die("bad --value")),
-            "--keys" => cfg.keys = next(&mut it, arg).parse().unwrap_or_else(|_| die("bad --keys")),
-            "--workers" => {
-                cfg.workers = next(&mut it, arg).parse().unwrap_or_else(|_| die("bad --workers"))
+            "--theta" => {
+                theta = next(&mut it, arg)
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --theta"))
             }
-            "--n-cr" => cfg.n_cr = next(&mut it, arg).parse().unwrap_or_else(|_| die("bad --n-cr")),
-            "--batch" => cfg.batch = next(&mut it, arg).parse().unwrap_or_else(|_| die("bad --batch")),
+            "--value" => {
+                value = next(&mut it, arg)
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --value"))
+            }
+            "--keys" => {
+                cfg.keys = next(&mut it, arg)
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --keys"))
+            }
+            "--workers" => {
+                cfg.workers = next(&mut it, arg)
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --workers"))
+            }
+            "--n-cr" => {
+                cfg.n_cr = next(&mut it, arg)
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --n-cr"))
+            }
+            "--batch" => {
+                cfg.batch = next(&mut it, arg)
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --batch"))
+            }
             "--clients" => {
-                cfg.clients = next(&mut it, arg).parse().unwrap_or_else(|_| die("bad --clients"))
+                cfg.clients = next(&mut it, arg)
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --clients"))
             }
             "--pipeline" => {
-                cfg.pipeline = next(&mut it, arg).parse().unwrap_or_else(|_| die("bad --pipeline"))
+                cfg.pipeline = next(&mut it, arg)
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --pipeline"))
             }
             "--warmup-ms" => {
-                cfg.warmup =
-                    next(&mut it, arg).parse::<u64>().unwrap_or_else(|_| die("bad --warmup-ms")) * MILLIS
+                cfg.warmup = next(&mut it, arg)
+                    .parse::<u64>()
+                    .unwrap_or_else(|_| die("bad --warmup-ms"))
+                    * MILLIS
             }
             "--duration-ms" => {
                 cfg.duration = next(&mut it, arg)
@@ -132,12 +160,22 @@ fn main() {
                     * MILLIS
             }
             "--hot" => {
-                cfg.hot_capacity = next(&mut it, arg).parse().unwrap_or_else(|_| die("bad --hot"))
+                cfg.hot_capacity = next(&mut it, arg)
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --hot"))
             }
             "--mr-ways" => {
-                cfg.mr_ways = next(&mut it, arg).parse().unwrap_or_else(|_| die("bad --mr-ways"))
+                cfg.mr_ways = next(&mut it, arg)
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --mr-ways"))
             }
-            "--etc" => etc = Some(next(&mut it, arg).parse().unwrap_or_else(|_| die("bad --etc"))),
+            "--etc" => {
+                etc = Some(
+                    next(&mut it, arg)
+                        .parse()
+                        .unwrap_or_else(|_| die("bad --etc")),
+                )
+            }
             "--twitter" => {
                 twitter = Some(match next(&mut it, arg).as_str() {
                     "12" => TwitterCluster::Cluster12,
@@ -148,7 +186,11 @@ fn main() {
             }
             "--tuner" => cfg.tuner = TunerMode::Auto,
             "--dlb" => cfg.queue_kind = utps::core::crmr::QueueKind::Dlb,
-            "--seed" => cfg.seed = next(&mut it, arg).parse().unwrap_or_else(|_| die("bad --seed")),
+            "--seed" => {
+                cfg.seed = next(&mut it, arg)
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --seed"))
+            }
             other => die(&format!("unknown option {other:?}")),
         }
     }
@@ -179,15 +221,33 @@ fn main() {
     );
     let t0 = std::time::Instant::now();
     let r = run(system, &cfg);
-    println!("throughput : {:.2} Mops/s ({} ops in {} ms simulated)", r.mops, r.completed, cfg.duration / MILLIS);
-    println!("latency    : P50 {:.1} us  P99 {:.1} us  mean {:.1} us",
-        r.p50_ns as f64 / 1e3, r.p99_ns as f64 / 1e3, r.mean_ns / 1e3);
-    println!("LLC miss   : all {:.1}%  CR {:.1}%  MR {:.1}%",
-        r.llc_miss_all * 100.0, r.llc_miss_cr * 100.0, r.llc_miss_mr * 100.0);
+    println!(
+        "throughput : {:.2} Mops/s ({} ops in {} ms simulated)",
+        r.mops,
+        r.completed,
+        cfg.duration / MILLIS
+    );
+    println!(
+        "latency    : P50 {:.1} us  P99 {:.1} us  mean {:.1} us",
+        r.p50_ns as f64 / 1e3,
+        r.p99_ns as f64 / 1e3,
+        r.mean_ns / 1e3
+    );
+    println!(
+        "LLC miss   : all {:.1}%  CR {:.1}%  MR {:.1}%",
+        r.llc_miss_all * 100.0,
+        r.llc_miss_cr * 100.0,
+        r.llc_miss_mr * 100.0
+    );
     if system == SystemKind::Utps {
-        println!("uTPS       : CR-local {:.1}%  final split {}CR/{}MR  cache {} items  MR ways {}",
-            r.cr_local_frac * 100.0, r.final_n_cr, r.workers - r.final_n_cr,
-            r.final_cache_items, r.final_mr_ways);
+        println!(
+            "uTPS       : CR-local {:.1}%  final split {}CR/{}MR  cache {} items  MR ways {}",
+            r.cr_local_frac * 100.0,
+            r.final_n_cr,
+            r.workers - r.final_n_cr,
+            r.final_cache_items,
+            r.final_mr_ways
+        );
         if r.reconfigs > 0 {
             println!("tuner      : {} reassignments", r.reconfigs);
             for e in &r.tuner_events {

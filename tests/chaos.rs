@@ -142,12 +142,18 @@ fn injected_faults_are_observable_in_counters() {
     for (class, faults, counter) in [
         (
             "drop",
-            FaultConfig { drop_prob: 0.01, ..FaultConfig::default() },
+            FaultConfig {
+                drop_prob: 0.01,
+                ..FaultConfig::default()
+            },
             "fault.rx_drop",
         ),
         (
             "dup",
-            FaultConfig { dup_prob: 0.01, ..FaultConfig::default() },
+            FaultConfig {
+                dup_prob: 0.01,
+                ..FaultConfig::default()
+            },
             "fault.rx_dup",
         ),
         (
@@ -173,7 +179,10 @@ fn injected_faults_are_observable_in_counters() {
         ),
         (
             "corrupt",
-            FaultConfig { corrupt_prob: 0.05, ..FaultConfig::default() },
+            FaultConfig {
+                corrupt_prob: 0.05,
+                ..FaultConfig::default()
+            },
             "crmr.corrupt",
         ),
     ] {
@@ -221,7 +230,10 @@ fn zero_fault_plan_is_byte_transparent() {
     });
     let armed = run_utps(&base);
     let seeded_zero_plan = run_utps(&RunConfig {
-        faults: FaultConfig { seed: 999, ..FaultConfig::default() },
+        faults: FaultConfig {
+            seed: 999,
+            ..FaultConfig::default()
+        },
         ..base.clone()
     });
 

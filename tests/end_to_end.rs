@@ -51,7 +51,11 @@ fn every_system_serves_requests() {
             r.completed
         );
         assert_eq!(r.not_found, 0, "{}: missing keys", system.name());
-        assert!(r.p50_ns >= 1_500, "{}: p50 below physical RTT", system.name());
+        assert!(
+            r.p50_ns >= 1_500,
+            "{}: p50 below physical RTT",
+            system.name()
+        );
         assert!(r.p99_ns >= r.p50_ns, "{}: p99 < p50", system.name());
     }
 }
@@ -171,7 +175,9 @@ fn stage_metrics_snapshot_contents() {
     );
 
     // MR traversal latency histogram is populated and ordered.
-    let trav = snap.hist("mr.traversal_ns").expect("no traversal histogram");
+    let trav = snap
+        .hist("mr.traversal_ns")
+        .expect("no traversal histogram");
     assert!(trav.count > 0, "no traversals recorded");
     assert!(trav.min <= trav.p50 && trav.p50 <= trav.p99 && trav.p99 <= trav.max);
 

@@ -1,0 +1,51 @@
+//! Lint: the steady-state hot path must not copy payload bytes.
+//!
+//! Request/response bodies live in the NIC-buffer [`PayloadArena`]
+//! (`utps_sim::arena`) and travel as `PayloadRef` handles; a body is written
+//! once and *moved* (`take`) into KV storage or freed — never cloned per
+//! hop. The only sanctioned deep copy is fault redelivery
+//! (`PayloadArena::dup`), where a duplicated message genuinely occupies a
+//! second NIC buffer.
+//!
+//! This test greps the CR/MR and baseline step code for the copy patterns
+//! the refactor removed, so a regression shows up as a named source line.
+
+use std::path::Path;
+
+/// Files containing server-side steady-state step code.
+const HOT_PATH_FILES: &[&str] = &[
+    "crates/core/src/server.rs",
+    "crates/core/src/store.rs",
+    "crates/core/src/rpc.rs",
+    "crates/core/src/client.rs",
+    "crates/baselines/src/basekv.rs",
+    "crates/baselines/src/erpckv.rs",
+];
+
+/// Byte-copy patterns forbidden on the hot path. `payloads.dup(` is the
+/// fault-redelivery exemption and is allowed; everything here clones actual
+/// payload bytes per hop.
+const FORBIDDEN: &[&str] = &["value.clone()", "value().clone()", ".to_vec()"];
+
+#[test]
+fn no_payload_copies_on_hot_path() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut offenses = Vec::new();
+    for file in HOT_PATH_FILES {
+        let src = std::fs::read_to_string(root.join(file))
+            .unwrap_or_else(|e| panic!("cannot read {file}: {e}"));
+        for (lineno, line) in src.lines().enumerate() {
+            for pat in FORBIDDEN {
+                if line.contains(pat) {
+                    offenses.push(format!("{file}:{}: `{pat}` in {}", lineno + 1, line.trim()));
+                }
+            }
+        }
+    }
+    assert!(
+        offenses.is_empty(),
+        "payload byte copies on the hot path (move the PayloadRef or use \
+         PayloadArena::dup for fault redelivery):\n{}",
+        offenses.join("\n")
+    );
+}
