@@ -58,6 +58,8 @@ pub fn result_from_driver<W>(
     let completed = d.completed();
     let secs = cfg.duration as f64 / SECS as f64;
     let timeline = utps_core::experiment::render_timeline(&d.timeline, cfg.timeline_interval);
+    let (history_digest, oracle) = utps_core::experiment::oracle_results(cfg, d);
+    let schedule_trace = eng.machine_ref().schedule.trace().to_vec();
     RunResult {
         mops: completed as f64 / secs / 1e6,
         completed,
@@ -83,6 +85,9 @@ pub fn result_from_driver<W>(
         failed: d.clients.iter().map(|c| c.failed).sum(),
         stage_metrics: Some(snapshot),
         tuner_probes: Vec::new(),
+        history_digest,
+        oracle,
+        schedule_trace,
     }
 }
 

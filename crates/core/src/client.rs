@@ -9,6 +9,7 @@
 //! pipes, so the server NIC's bandwidth and message-rate limits still apply.
 
 use utps_collections::LatencyHistogram;
+use utps_oracle::{fill_digest, value_digest, History, OpClass};
 use utps_sim::nic::Fabric;
 use utps_sim::time::{SimTime, NANOS};
 use utps_sim::{Ctx, Process};
@@ -50,6 +51,11 @@ pub struct DriverState {
     pub measure_start: SimTime,
     /// Throughput timeline: (time, completed-so-far) samples.
     pub timeline: Vec<(SimTime, u64)>,
+    /// Operation history for the linearizability oracle; `None` (the
+    /// default) records nothing. Recording is pure host-side bookkeeping —
+    /// it charges no simulated time and draws no randomness, so enabling it
+    /// leaves the run byte-identical.
+    pub history: Option<History>,
 }
 
 impl DriverState {
@@ -60,6 +66,14 @@ impl DriverState {
             clients: (0..clients).map(|_| ClientStats::default()).collect(),
             measure_start,
             timeline: Vec::new(),
+            history: None,
+        }
+    }
+
+    /// Switches history recording on (idempotent; keeps an existing history).
+    pub fn enable_history(&mut self) {
+        if self.history.is_none() {
+            self.history = Some(History::new());
         }
     }
 
@@ -151,8 +165,14 @@ impl<W: KvWorld> Process<W> for ClientProc {
                 NetMsg::Req(_) => unreachable!("client received a request"),
             };
             drained += 1;
-            // The response payload has reached the client: its NIC buffer is
-            // recycled (dup responses included).
+            // Digest the returned bytes for the oracle before the payload's
+            // NIC buffer is recycled (dup responses included).
+            let resp_digest = if world.driver_mut().history.is_some() {
+                resp.value
+                    .map(|v| value_digest(ctx.machine().payloads.get(v)))
+            } else {
+                None
+            };
             if let Some(v) = resp.value {
                 ctx.machine().payloads.free(v);
             }
@@ -173,7 +193,18 @@ impl<W: KvWorld> Process<W> for ClientProc {
                 resp.sent_at
             };
             self.outstanding -= 1;
-            let stats = &mut world.driver_mut().clients[self.id as usize];
+            let driver = world.driver_mut();
+            if let Some(h) = driver.history.as_mut() {
+                h.response(
+                    self.id,
+                    resp.seq,
+                    now.as_ps(),
+                    resp.ok,
+                    resp_digest,
+                    resp.scan_count,
+                );
+            }
+            let stats = &mut driver.clients[self.id as usize];
             stats.completed_total += 1;
             if now >= measure_start {
                 stats.completed += 1;
@@ -222,7 +253,13 @@ impl<W: KvWorld> Process<W> for ClientProc {
                     }
                     None => {
                         self.outstanding -= 1;
-                        world.driver_mut().clients[self.id as usize].failed += 1;
+                        let driver = world.driver_mut();
+                        if let Some(h) = driver.history.as_mut() {
+                            // The op stays pending in the history: a delayed
+                            // copy of the request may still execute.
+                            h.fail(self.id, seq);
+                        }
+                        driver.clients[self.id as usize].failed += 1;
                         ctx.machine().registry.counter_inc("client.failed");
                     }
                 }
@@ -242,6 +279,29 @@ impl<W: KvWorld> Process<W> for ClientProc {
                 ),
                 _ => None,
             };
+            if world.driver_mut().history.is_some() {
+                let (class, key, digest, limit) = match &op {
+                    Op::Get { key } => (OpClass::Get, *key, None, 0),
+                    Op::Put { key, value_len } => (
+                        OpClass::Put,
+                        *key,
+                        Some(fill_digest(self.value_fill, *value_len)),
+                        0,
+                    ),
+                    Op::Scan { key, count } => (OpClass::Scan, *key, None, *count as u32),
+                    Op::Delete { key } => (OpClass::Delete, *key, None, 0),
+                };
+                let at = ctx.now().as_ps();
+                world.driver_mut().history.as_mut().unwrap().invoke(
+                    self.id,
+                    self.next_seq,
+                    class,
+                    key,
+                    digest,
+                    limit,
+                    at,
+                );
+            }
             if retry_on {
                 self.pending
                     .on_send(self.next_seq, ctx.now(), &self.retry, op.clone());

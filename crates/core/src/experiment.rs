@@ -7,7 +7,7 @@
 use utps_index::IndexKind;
 use utps_sim::config::MachineConfig;
 use utps_sim::time::{SimTime, MICROS, SECS};
-use utps_sim::{Engine, FaultConfig, StatClass};
+use utps_sim::{Engine, FaultConfig, ScheduleEvent, ScheduleMode, StatClass};
 use utps_workload::{
     DynamicWorkload, EtcWorkload, KeyDist, Mix, TwitterCluster, TwitterWorkload, Workload,
     YcsbWorkload,
@@ -175,6 +175,14 @@ pub struct RunConfig {
     pub retry: RetryConfig,
     /// MR descriptor-lease duration in ps (0 = leases off).
     pub lease_ps: u64,
+    /// Record a client-observed op history (see `utps-oracle`). Free of
+    /// simulated-time side effects; implied by [`RunConfig::oracle`].
+    pub record_history: bool,
+    /// Run the linearizability oracle over the recorded history after the
+    /// run and attach its report to the result.
+    pub oracle: bool,
+    /// Scheduler perturbation: off, seeded exploration, or trace replay.
+    pub schedule: ScheduleMode,
 }
 
 impl Default for RunConfig {
@@ -210,6 +218,9 @@ impl Default for RunConfig {
             faults: FaultConfig::default(),
             retry: RetryConfig::disabled(),
             lease_ps: 0,
+            record_history: false,
+            oracle: false,
+            schedule: ScheduleMode::Off,
         }
     }
 }
@@ -266,6 +277,15 @@ pub struct RunResult {
     pub stage_metrics: Option<utps_sim::MetricsSnapshot>,
     /// Tuner decision log: every trisection probe taken during the run.
     pub tuner_probes: Vec<crate::tuner::TunerProbe>,
+    /// Digest of the recorded op history (`None` when recording was off).
+    /// Interleaving-sensitive: goldens on this catch schedule regressions
+    /// that aggregate stats miss. Excluded from [`stats_json`].
+    pub history_digest: Option<u64>,
+    /// Linearizability report (`None` when the oracle was off).
+    pub oracle: Option<utps_oracle::Report>,
+    /// Schedule perturbations applied this run (empty when off); the trace
+    /// to replay or shrink a failing exploration seed.
+    pub schedule_trace: Vec<ScheduleEvent>,
 }
 
 /// Runs μTPS under `cfg` and returns its measurements.
@@ -414,6 +434,8 @@ pub fn extract_result(cfg: &RunConfig, eng: &mut Engine<UtpsWorld>) -> RunResult
     let secs = cfg.duration as f64 / SECS as f64;
     let served = world.stats.cr_local + world.stats.forwarded;
     let timeline = render_timeline(&d.timeline, cfg.timeline_interval);
+    let (history_digest, oracle) = oracle_results(cfg, d);
+    let schedule_trace = eng.machine_ref().schedule.trace().to_vec();
 
     RunResult {
         mops: completed as f64 / secs / 1e6,
@@ -444,7 +466,31 @@ pub fn extract_result(cfg: &RunConfig, eng: &mut Engine<UtpsWorld>) -> RunResult
         failed: d.clients.iter().map(|c| c.failed).sum(),
         stage_metrics: Some(snapshot),
         tuner_probes: world.tuner_probes.clone(),
+        history_digest,
+        oracle,
+        schedule_trace,
     }
+}
+
+/// Digests the recorded history and, when `cfg.oracle` is set, checks it
+/// against the sequential model seeded with the run's initial population.
+/// Shared by the μTPS extractor and every baseline runner.
+pub fn oracle_results(
+    cfg: &RunConfig,
+    driver: &DriverState,
+) -> (Option<u64>, Option<utps_oracle::Report>) {
+    let Some(h) = driver.history.as_ref() else {
+        return (None, None);
+    };
+    let digest = Some(h.digest());
+    if !cfg.oracle {
+        return (digest, None);
+    }
+    let init = utps_oracle::InitialState {
+        keys: cfg.keys,
+        value_digest: utps_oracle::fill_digest(0xab, cfg.workload.populate_value_len()),
+    };
+    (digest, Some(utps_oracle::check(h, &init)))
 }
 
 /// Ensures every fault/robustness counter exists in the registry (at its

@@ -207,6 +207,12 @@ impl DedupTable {
 
     /// Whether `(client, seq)` has already been recorded.
     pub fn seen(&self, client: u32, seq: u64) -> bool {
+        // Oracle self-test bug (feature `bug-skip-dedup`): pretend no request
+        // was ever seen, so duplicated deliveries re-execute their op. The
+        // linearizability suite must catch the resulting zombie writes.
+        if cfg!(feature = "bug-skip-dedup") {
+            return false;
+        }
         if !self.enabled {
             return false;
         }

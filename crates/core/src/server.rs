@@ -939,6 +939,21 @@ impl MrStage {
                         .registry
                         .hist_record("mr.traversal_ns", trav_ns);
                     let seq = st.ops[i].seq;
+                    // A delete must tombstone the hot cache at *execution*
+                    // time, not just at CR forward time: while the delete sat
+                    // in the CR→MR queue the manager's periodic refresh may
+                    // have re-cached the key (its index entry still existed),
+                    // and once the MR removes it from the index that cache
+                    // entry would serve the dead item forever. Puts are safe:
+                    // they update the existing item in place, so a cached
+                    // ItemId stays valid.
+                    if world.cfg.cache_enabled && out.ok {
+                        let req = world.ring.request(seq);
+                        if matches!(req.op, Op::Delete { .. }) {
+                            let key = req.op.key();
+                            world.hot.invalidate(ctx, key);
+                        }
+                    }
                     let resp_addr = world.resp.addr_for(id, seq);
                     let resp = build_response(world.ring.request(seq), out, resp_addr);
                     world.ring.complete(seq, resp);

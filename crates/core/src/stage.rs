@@ -25,7 +25,7 @@
 //! | RaceHash/Sherman | verb-engine process (no server stage at all) |
 
 use utps_sim::time::SimTime;
-use utps_sim::{Ctx, Engine, FaultPlan, Machine, Process, StatClass};
+use utps_sim::{Ctx, Engine, FaultPlan, Machine, Process, SchedulePlan, StatClass};
 
 use crate::client::{ClientProc, KvWorld, SamplerProc};
 use crate::experiment::RunConfig;
@@ -99,6 +99,7 @@ impl<W: 'static> PipelineRuntime<W> {
     pub fn new(cfg: &RunConfig, cores: usize, world: W) -> Self {
         let mut eng = Engine::new(cfg.machine.clone(), cores, world);
         eng.machine().faults = FaultPlan::new(cfg.faults.clone(), cfg.seed);
+        eng.machine().schedule = SchedulePlan::from_mode(cfg.schedule.clone(), cfg.seed);
         PipelineRuntime {
             eng,
             warmup: SimTime(cfg.warmup),
@@ -159,6 +160,9 @@ impl<W: KvWorld + 'static> PipelineRuntime<W> {
     /// Spawns the closed-loop client fleet and, when configured, the
     /// throughput sampler — identical across every request/response system.
     pub fn spawn_clients(&mut self, cfg: &RunConfig) {
+        if cfg.record_history || cfg.oracle {
+            self.eng.world.driver_mut().enable_history();
+        }
         for c in 0..cfg.clients {
             let wl = cfg.workload.build(cfg.keys, cfg.seed, c as u64);
             self.eng.spawn(

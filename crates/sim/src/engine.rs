@@ -50,6 +50,9 @@ pub struct Machine {
     pub registry: crate::metrics::MetricsRegistry,
     /// Active fault plan; the zero plan by default. See [`crate::fault`].
     pub faults: crate::fault::FaultPlan,
+    /// Active schedule-perturbation plan; inert by default. See
+    /// [`crate::schedule`].
+    pub schedule: crate::schedule::SchedulePlan,
     /// NIC buffer memory holding message payload bytes; see
     /// [`crate::arena::PayloadArena`].
     pub payloads: crate::arena::PayloadArena,
@@ -63,6 +66,7 @@ impl Machine {
             cfg,
             registry: crate::metrics::MetricsRegistry::new(),
             faults: crate::fault::FaultPlan::inactive(),
+            schedule: crate::schedule::SchedulePlan::inactive(),
             payloads: crate::arena::PayloadArena::new(),
         }
     }
@@ -287,6 +291,20 @@ impl<W> Engine<W> {
                 None => continue,
             };
             debug_assert_eq!(entry.clock, t);
+            // Schedule exploration: at seed-chosen decisions, stall the
+            // popped process so whichever process is next in clock order
+            // runs first. Counted per pop, so every run — perturbed or
+            // replayed — sees the same decision indexing.
+            if self.machine.schedule.armed() {
+                if let Some(stall_ps) = self.machine.schedule.on_pop(pid) {
+                    self.machine.registry.counter_inc("schedule.stall");
+                    let end = t + stall_ps;
+                    entry.clock = end;
+                    self.heap.push(Reverse((end, pid)));
+                    self.procs[pid] = Some(entry);
+                    continue;
+                }
+            }
             // A core inside a stall window executes nothing: defer its next
             // step to the window end. Guarded so fault-free runs never pay
             // for the check beyond one branch.

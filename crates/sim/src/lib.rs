@@ -31,6 +31,7 @@ pub mod hashutil;
 pub mod lock;
 pub mod metrics;
 pub mod nic;
+pub mod schedule;
 pub mod time;
 pub mod vaddr;
 
@@ -42,4 +43,5 @@ pub use fault::{FaultConfig, FaultPlan, RecvFate, StallWindow};
 pub use lock::{OptLock, SimLock, VersionSeqLock};
 pub use metrics::{AccessKind, Metrics, MetricsRegistry, MetricsSnapshot};
 pub use nic::{DelayQueue, Fabric, Pipe};
+pub use schedule::{shrink_schedule, ScheduleConfig, ScheduleEvent, ScheduleMode, SchedulePlan};
 pub use time::{SimTime, MICROS, MILLIS, NANOS, SECS};

@@ -17,6 +17,7 @@
 //! | [`core`] | the μTPS server, CR-MR queue, reconfigurable RPC, auto-tuner |
 //! | [`baselines`] | BaseKV (RTC), eRPCKV (share-nothing), RaceHash, Sherman |
 //! | [`workload`] | YCSB, ETC, Twitter-cluster and dynamic generators |
+//! | [`oracle`] | linearizability checker over client-observed op histories |
 //!
 //! # Examples
 //!
@@ -48,6 +49,7 @@ pub use utps_baselines as baselines;
 pub use utps_collections as collections;
 pub use utps_core as core;
 pub use utps_index as index;
+pub use utps_oracle as oracle;
 pub use utps_sim as sim;
 pub use utps_workload as workload;
 
@@ -59,7 +61,10 @@ pub mod prelude {
     pub use utps_core::tuner::{TunerMode, TunerParams};
     pub use utps_core::KvStore;
     pub use utps_index::IndexKind;
+    pub use utps_oracle::{InitialState, Report, Violation};
     pub use utps_sim::config::MachineConfig;
-    pub use utps_sim::{FaultConfig, StallWindow};
+    pub use utps_sim::{
+        shrink_schedule, FaultConfig, ScheduleConfig, ScheduleEvent, ScheduleMode, StallWindow,
+    };
     pub use utps_workload::{Mix, TwitterCluster};
 }
