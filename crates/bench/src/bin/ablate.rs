@@ -1,4 +1,4 @@
-//! Ablation study over μTPS's design choices (DESIGN.md §7).
+//! Ablation study over μTPS's design choices (DESIGN.md §8).
 //!
 //! Dimensions:
 //!

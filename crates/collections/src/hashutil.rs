@@ -1,10 +1,17 @@
-//! Fast non-cryptographic hashing used throughout the simulator.
+//! Fast, *fixed-key* non-cryptographic hashing used throughout the
+//! workspace (re-exported at its historical `utps_sim::hashutil` path).
 //!
 //! The cache directory is consulted on every simulated memory access, so its
 //! hash map must be cheap. `FxHasher64` is a re-implementation of the
 //! Firefox/rustc "Fx" multiply-rotate hash for `u64` keys; [`mix64`] is a
 //! Stafford variant-13 finalizer used as a standalone scrambler (key→shard
 //! mapping, partial-key tags, deterministic per-seed streams).
+//!
+//! Determinism contract (lint rule R2): these hashers are the only ones the
+//! deterministic zone (sim/core/collections) may use — std's default
+//! SipHash is randomly keyed per process, so `HashMap` iteration order
+//! would differ between two same-seed runs. This file is the one place
+//! allowed to name the std map types.
 
 use core::hash::{BuildHasherDefault, Hasher};
 

@@ -17,7 +17,13 @@
 //! * [`hist::LatencyHistogram`] — log-bucketed percentile tracking for the
 //!   latency evaluation (§5.3).
 
+// Unsafe hygiene (lint rule R5 rides on this): an `unsafe fn` body gets no
+// implicit unsafe block, so every unsafe *operation* needs its own block —
+// and therefore its own `// SAFETY:` argument.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod epoch;
+pub mod hashutil;
 pub mod hist;
 pub mod hotset;
 pub mod mpmc;
@@ -27,6 +33,7 @@ pub mod spsc;
 pub mod topk;
 
 pub use epoch::EpochCell;
+pub use hashutil::{mix2, mix64, FxBuildHasher, FxHashMap, FxHashSet};
 pub use hist::LatencyHistogram;
 pub use hotset::HotSetTracker;
 pub use mpmc::MpmcQueue;

@@ -4,7 +4,7 @@
 //! (§3.2.2): every sampled key's estimated count is offered to the tracker,
 //! which keeps the K keys with the largest counts.
 
-use std::collections::HashMap;
+use crate::hashutil::FxHashMap;
 
 /// Tracks the `k` keys with the highest counts.
 ///
@@ -26,7 +26,7 @@ pub struct TopK {
     /// Min-heap of (count, key); `heap[0]` is the smallest tracked count.
     heap: Vec<(u32, u64)>,
     /// key → heap position.
-    pos: HashMap<u64, usize>,
+    pos: FxHashMap<u64, usize>,
 }
 
 impl TopK {
@@ -40,7 +40,7 @@ impl TopK {
         TopK {
             k,
             heap: Vec::with_capacity(k),
-            pos: HashMap::with_capacity(k),
+            pos: FxHashMap::with_capacity_and_hasher(k, Default::default()),
         }
     }
 
@@ -171,6 +171,7 @@ impl TopK {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashMap;
 
     #[test]
     fn keeps_largest_k() {

@@ -1,0 +1,191 @@
+//! R1 `no-blocking-in-stage`: nothing that blocks a real OS thread — and no
+//! syscall-ish std I/O — may be reachable from a `Stage::step`
+//! implementation.
+//!
+//! `Stage::step` is the paper's non-preemptive NP-TPS contract (§3): a stage
+//! runs to its next yield point and *returns*; the engine owns the core. A
+//! `thread::sleep`, a `Mutex` acquisition or a file write inside a step
+//! would stall every stage sharing the engine thread and desynchronize
+//! simulated time from host time. Simulated synchronization (`SimLock`,
+//! `OptLock`) charges its cost through `Ctx` and is fine; it is the *std*
+//! blocking vocabulary this rule bans.
+//!
+//! Reach is the step body itself plus a one-level call graph: functions the
+//! step calls directly, resolved within the workspace (`Type::f` by impl
+//! owner, bare `f(...)` and `.f(...)` within the caller's crate).
+
+use crate::lexer::TokKind;
+use crate::parser::{calls_in, Call, FileData};
+use crate::rules::{report, seq, t};
+use crate::{LintWorkspace, Violation};
+
+const RULE: (&str, &str) = ("R1", "no-blocking-in-stage");
+
+/// `thread::<x>` members that block or touch OS scheduling.
+const THREAD_FNS: &[&str] = &[
+    "sleep",
+    "sleep_ms",
+    "park",
+    "park_timeout",
+    "yield_now",
+    "spawn",
+    "scope",
+    "Builder",
+];
+
+/// std sync primitives that park the calling thread.
+const SYNC_TYPES: &[&str] = &["Mutex", "RwLock", "Condvar", "Barrier", "mpsc"];
+
+/// std modules whose use from a stage means syscalls.
+const SYSCALL_MODS: &[&str] = &["fs", "net", "process", "io"];
+
+/// Print-family macros (stdout/stderr syscalls, and nondeterministic
+/// interleaving to boot).
+const PRINT_MACROS: &[&str] = &["println", "print", "eprintln", "eprint", "dbg"];
+
+/// Zero-arg method calls that park: `.lock()`, `.join()`, `.recv()`.
+const PARKING_METHODS: &[&str] = &["lock", "join", "recv"];
+
+pub fn check(ws: &LintWorkspace, out: &mut Vec<Violation>) {
+    let mut found: Vec<Violation> = Vec::new();
+    for f in &ws.files {
+        if f.path_is_test {
+            continue;
+        }
+        for item in &f.fns {
+            if item.is_test || item.name != "step" || item.trait_name.as_deref() != Some("Stage") {
+                continue;
+            }
+            let Some((body_s, body_e)) = item.body else {
+                continue;
+            };
+            let stage = item.owner.clone().unwrap_or_else(|| "?".into());
+            let origin = format!("`{stage}::step` ({}:{})", f.path, item.line);
+
+            scan_fn(f, body_s, body_e, &format!("in {origin}"), &mut found);
+
+            // One-level call graph: every function the step calls directly.
+            let caller_crate = LintWorkspace::crate_of(&f.path);
+            let mut calls = calls_in(&f.src, &f.code, body_s, body_e);
+            calls.dedup_by(|a, b| a.name == b.name && a.qualifier == b.qualifier);
+            let mut visited: Vec<(usize, usize)> = Vec::new();
+            for call in &calls {
+                for (fi, ii) in resolve(ws, caller_crate, call) {
+                    if visited.contains(&(fi, ii)) {
+                        continue;
+                    }
+                    visited.push((fi, ii));
+                    let cf = &ws.files[fi];
+                    let citem = &cf.fns[ii];
+                    if citem.line == item.line && cf.path == f.path {
+                        continue; // the step itself
+                    }
+                    if let Some((s, e)) = citem.body {
+                        scan_fn(
+                            cf,
+                            s,
+                            e,
+                            &format!("in `{}` (reachable from {origin})", citem.name),
+                            &mut found,
+                        );
+                    }
+                }
+            }
+        }
+    }
+    // The same helper can be reachable from several stages; report each
+    // offending token once.
+    found.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.col == b.col);
+    out.append(&mut found);
+}
+
+/// Resolves a call site to candidate workspace functions. Over-approximation
+/// is bounded: a name matching more than 8 definitions is considered too
+/// ambiguous to chase and is skipped.
+fn resolve(ws: &LintWorkspace, caller_crate: &str, call: &Call) -> Vec<(usize, usize)> {
+    let mut hits = Vec::new();
+    for (fi, f) in ws.files.iter().enumerate() {
+        if f.path_is_test {
+            continue;
+        }
+        for (ii, item) in f.fns.iter().enumerate() {
+            if item.is_test || item.body.is_none() || item.name != call.name {
+                continue;
+            }
+            let same_crate = LintWorkspace::crate_of(&f.path) == caller_crate;
+            let matched = match &call.qualifier {
+                // `T::f(...)` — match by impl owner anywhere in the
+                // workspace (types cross crate boundaries).
+                Some(q) => item.owner.as_deref() == Some(q.as_str()),
+                // `.f(...)` — methods named f in the caller's crate.
+                None if call.is_method => same_crate && item.owner.is_some(),
+                // bare `f(...)` — free functions in the caller's crate.
+                None => same_crate && item.owner.is_none(),
+            };
+            if matched {
+                hits.push((fi, ii));
+            }
+        }
+    }
+    if hits.len() > 8 {
+        hits.clear();
+    }
+    hits
+}
+
+/// Scans one function body for the blocking vocabulary.
+fn scan_fn(f: &FileData, start: usize, end: usize, ctx: &str, out: &mut Vec<Violation>) {
+    let end = end.min(f.code.len());
+    for i in start..end {
+        let tok = &f.code[i];
+        if tok.kind != TokKind::Ident {
+            continue;
+        }
+        let tx = t(f, i);
+        let hit: Option<String> = match tx {
+            "thread" if t(f, i + 1) == ":" && t(f, i + 2) == ":" => {
+                let m = t(f, i + 3);
+                THREAD_FNS
+                    .contains(&m)
+                    .then(|| format!("`thread::{m}` blocks the engine thread"))
+            }
+            "std" if seq(f, i, &["std", ":", ":", "thread"]) => {
+                Some("`std::thread` has no place in a stage".to_string())
+            }
+            "std" if t(f, i + 1) == ":" && t(f, i + 2) == ":" => {
+                let m = t(f, i + 3);
+                SYSCALL_MODS
+                    .contains(&m)
+                    .then(|| format!("`std::{m}` means syscalls on the stage path"))
+            }
+            "File" if t(f, i + 1) == ":" && t(f, i + 2) == ":" => {
+                matches!(t(f, i + 3), "open" | "create")
+                    .then(|| "file I/O on the stage path".to_string())
+            }
+            "stdin" | "stdout" if t(f, i + 1) == "(" => {
+                Some(format!("`{tx}()` handle acquisition on the stage path"))
+            }
+            _ if SYNC_TYPES.contains(&tx) => Some(format!(
+                "std sync primitive `{tx}` parks real threads (use SimLock/OptLock)"
+            )),
+            _ if PRINT_MACROS.contains(&tx) && t(f, i + 1) == "!" => {
+                Some(format!("`{tx}!` writes to stdio from a stage"))
+            }
+            _ if PARKING_METHODS.contains(&tx)
+                && i >= 1
+                && t(f, i - 1) == "."
+                && t(f, i + 1) == "("
+                && t(f, i + 2) == ")" =>
+            {
+                Some(format!("`.{tx}()` is a parking call"))
+            }
+            "wait" if i >= 1 && t(f, i - 1) == "." && t(f, i + 1) == "(" => {
+                Some("`.wait(...)` is a parking call".to_string())
+            }
+            _ => None,
+        };
+        if let Some(what) = hit {
+            out.push(report(RULE, f, tok, format!("{what} — {ctx}")));
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! R2 `determinism`: the simulation core must stay byte-deterministic.
+//!
+//! Replay (`ScheduleMode::Replay`), the linearizability oracle, ddmin
+//! schedule shrinking and every golden test in the repo assume that the same
+//! seed produces the same run, bit for bit. One wall-clock read or one
+//! iteration over a randomly-seeded hash map silently breaks all of them —
+//! and breaks them *flakily*, which is the worst way. So inside the
+//! deterministic zone (`crates/sim`, `crates/core`, `crates/collections`)
+//! non-test code may not touch:
+//!
+//! * `Instant` / `SystemTime` — simulated time is `SimTime`, advanced by the
+//!   engine, never the host clock;
+//! * the `rand` crate, `thread_rng` — randomness comes from seeded streams
+//!   (`mix64` counters, the workload RNG);
+//! * default-hasher `HashMap`/`HashSet`, `RandomState`, `DefaultHasher` —
+//!   std's SipHash is randomly keyed per process, so iteration order varies
+//!   across runs. The blessed hashers live in `hashutil`
+//!   (`FxHashMap`/`FxHashSet`, fixed-key), and `hashutil.rs` itself is the
+//!   one file allowed to name the std types (it wraps them).
+
+use crate::lexer::TokKind;
+use crate::rules::{report, t};
+use crate::{LintWorkspace, Violation};
+
+const RULE: (&str, &str) = ("R2", "determinism");
+
+/// Crate source trees forming the deterministic zone.
+const SCOPED_DIRS: &[&str] = &[
+    "crates/sim/src/",
+    "crates/core/src/",
+    "crates/collections/src/",
+];
+
+pub fn check(ws: &LintWorkspace, out: &mut Vec<Violation>) {
+    for f in &ws.files {
+        if !SCOPED_DIRS.iter().any(|d| f.path.starts_with(d)) {
+            continue;
+        }
+        if f.path.ends_with("/hashutil.rs") {
+            continue; // the blessed wrapper is where the std types may appear
+        }
+        for (i, tok) in f.code.iter().enumerate() {
+            if tok.kind != TokKind::Ident || f.is_test_line(tok.line) {
+                continue;
+            }
+            let tx = t(f, i);
+            let hit: Option<String> = match tx {
+                "Instant" | "SystemTime" => Some(format!(
+                    "wall clock `{tx}` in the deterministic zone (simulated time is `SimTime`)"
+                )),
+                "HashMap" | "HashSet" => Some(format!(
+                    "default-hasher `{tx}` iterates in per-process random order \
+                     (use `hashutil::Fx{tx}` or a BTree collection)"
+                )),
+                "RandomState" | "DefaultHasher" => Some(format!(
+                    "randomly-keyed `{tx}` in the deterministic zone (use `hashutil`)"
+                )),
+                "rand" if t(f, i + 1) == ":" && t(f, i + 2) == ":" => {
+                    Some("`rand` crate in the deterministic zone (use seeded streams)".into())
+                }
+                "thread_rng" | "random" if t(f, i + 1) == "(" => Some(format!(
+                    "`{tx}()` draws process-local entropy in the deterministic zone"
+                )),
+                _ => None,
+            };
+            if let Some(what) = hit {
+                out.push(report(RULE, f, tok, what));
+            }
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! R3 `payload-linearity`: payload bytes live in the NIC-buffer arena and
+//! move — they are never copied per hop.
+//!
+//! A `Request`/`Response` body is written into the [`PayloadArena`] once and
+//! travels as a `Copy` `PayloadRef` handle with *linear* ownership: the
+//! client allocs, exactly one consumer `take`s (or the ring `free`s on a
+//! drop fate), and the only sanctioned deep copy is `dup` for fault
+//! redelivery, where a duplicated message genuinely occupies a second NIC
+//! buffer. On the server/ring hot paths this rule therefore forbids:
+//!
+//! * calling anything on the arena other than the blessed verbs
+//!   (`alloc` / `take` / `free` / `dup`, the borrowing `get`, and the size
+//!   probes `live`/`len`/`is_empty`); the ring-side move verb is
+//!   `take_value`;
+//! * `.to_vec()` — the classic copy-out;
+//! * `.clone()` on payload-carrying expressions (`value`, `payload`,
+//!   `payloads`, `read_buf` chains).
+//!
+//! This rule subsumes the old `tests/hot_path_no_copy.rs` grep test, with
+//! spans instead of substring matches (a `value.clone()` in a comment no
+//! longer counts, and `let to_vec = ...` cannot dodge it).
+
+use crate::rules::{report, t};
+use crate::{LintWorkspace, Violation};
+
+const RULE: (&str, &str) = ("R3", "payload-linearity");
+
+/// Server-side steady-state step code — the files where payload handles
+/// flow. Same set the grep lint guarded, now enforced with token spans.
+const HOT_PATH_FILES: &[&str] = &[
+    "crates/core/src/server.rs",
+    "crates/core/src/store.rs",
+    "crates/core/src/rpc.rs",
+    "crates/core/src/client.rs",
+    "crates/baselines/src/basekv.rs",
+    "crates/baselines/src/erpckv.rs",
+];
+
+/// Methods that may be called on a `PayloadArena`.
+const BLESSED_VERBS: &[&str] = &[
+    "alloc", "take", "free", "dup", "get", "live", "len", "is_empty",
+];
+
+/// Identifiers that mark a chain as payload-carrying.
+const PAYLOAD_IDENTS: &[&str] = &["value", "payload", "payloads", "read_buf"];
+
+pub fn check(ws: &LintWorkspace, out: &mut Vec<Violation>) {
+    for f in &ws.files {
+        if !HOT_PATH_FILES.contains(&f.path.as_str()) {
+            continue;
+        }
+        for i in 0..f.code.len() {
+            let tok = &f.code[i];
+            if f.is_test_line(tok.line) {
+                continue;
+            }
+            let tx = t(f, i);
+            // `payloads.<verb>(` — the arena only speaks the blessed verbs.
+            if tx == "payloads" && t(f, i + 1) == "." && t(f, i + 3) == "(" {
+                let verb = t(f, i + 2);
+                if !verb.is_empty() && !BLESSED_VERBS.contains(&verb) {
+                    out.push(report(
+                        RULE,
+                        f,
+                        &f.code[i + 2],
+                        format!(
+                            "`payloads.{verb}(...)` is not a blessed arena verb \
+                             (alloc/take/free/dup, borrowing get)"
+                        ),
+                    ));
+                }
+            }
+            if tx != "." {
+                continue;
+            }
+            // `.to_vec(` — copying bytes out of a borrow.
+            if t(f, i + 1) == "to_vec" && t(f, i + 2) == "(" {
+                out.push(report(
+                    RULE,
+                    f,
+                    &f.code[i + 1],
+                    "`.to_vec()` copies payload bytes on the hot path \
+                     (move the PayloadRef, or `PayloadArena::dup` for fault redelivery)"
+                        .to_string(),
+                ));
+            }
+            // `<payload chain>.clone(` — cloning the bytes per hop.
+            if t(f, i + 1) == "clone" && t(f, i + 2) == "(" {
+                let chain = chain_idents_before(f, i);
+                if let Some(root) = chain.iter().find(|c| PAYLOAD_IDENTS.contains(&c.as_str())) {
+                    out.push(report(
+                        RULE,
+                        f,
+                        &f.code[i + 1],
+                        format!(
+                            "`.clone()` on payload-carrying `{root}` \
+                             (PayloadRef is Copy; bytes move via take/dup)"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Identifiers of the postfix chain ending at the `.` at code index
+/// `dot_idx`: for `a.b(x).value.clone()` it walks back over `value`, the
+/// call parens, `b`, `a`. Bounded so pathological lines cannot spin.
+fn chain_idents_before(f: &crate::parser::FileData, dot_idx: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut j = dot_idx as isize - 1;
+    let mut budget = 40;
+    while j >= 0 && budget > 0 {
+        budget -= 1;
+        let tx = t(f, j as usize);
+        match tx {
+            ")" | "]" => {
+                // Skip the balanced group backwards.
+                let close = tx.as_bytes()[0];
+                let open = if close == b')' { "(" } else { "[" };
+                let close = if close == b')' { ")" } else { "]" };
+                let mut depth = 0;
+                while j >= 0 && budget > 0 {
+                    budget -= 1;
+                    let inner = t(f, j as usize);
+                    if inner == close {
+                        depth += 1;
+                    } else if inner == open {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    j -= 1;
+                }
+                j -= 1;
+            }
+            "." | "?" => j -= 1,
+            _ if f
+                .code
+                .get(j as usize)
+                .is_some_and(|k| k.kind == crate::lexer::TokKind::Ident) =>
+            {
+                out.push(tx.to_string());
+                // Chains continue only through `.`/`::`-ish connectors.
+                match t(f, (j - 1).max(0) as usize) {
+                    "." | ":" => j -= 1,
+                    _ => break,
+                }
+            }
+            _ => break,
+        }
+    }
+    out
+}

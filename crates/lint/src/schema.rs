@@ -1,0 +1,85 @@
+//! The pinned metric-name schema for rule R4 (`metrics-schema`).
+//!
+//! Every string literal passed to a `MetricsRegistry` method anywhere in the
+//! workspace must appear here. This is the compile-time side of the contract
+//! that `tests/stats_schema.rs` pins at runtime: the golden file catches a
+//! *dropped* key, this list catches an *unreviewed new* key (or a typo'd one
+//! — `"cr.hti"` would silently mint a fresh counter and the golden test
+//! would only notice the missing sibling much later, if ever).
+//!
+//! Adding a metric is a two-step, both in one PR: add the name here, then
+//! regenerate the golden (`UPDATE_GOLDEN=1 cargo test --test stats_schema`).
+
+/// Every registry instrument name the workspace may use, sorted.
+pub const METRIC_SCHEMA: &[&str] = &[
+    // Client-side robustness counters (PR 2).
+    "client.dup_resp",
+    "client.failed",
+    "client.retransmit",
+    // Config gauges folded into the snapshot by `extract_result`.
+    "cfg.cache_items",
+    "cfg.mr_ways",
+    "cfg.n_cr",
+    // CR stage.
+    "cr.forward",
+    "cr.hit",
+    "cr.hit_path_ns",
+    "cr.miss",
+    "cr.response",
+    // CR–MR queue fabric.
+    "crmr.corrupt",
+    "crmr.lane_hwm",
+    "crmr.lease_reclaim",
+    "crmr.pushed",
+    "crmr.shared_hwm",
+    // Fault-injection events.
+    "fault.rx_delay",
+    "fault.rx_drop",
+    "fault.rx_dup",
+    "fault.stall_defer",
+    // Hot-cache hit tracking.
+    "hot.hits",
+    "hot.misses",
+    // MR stage.
+    "mr.batch_size",
+    "mr.interleave_depth",
+    "mr.traversal_ns",
+    // Receive-ring pump.
+    "ring.dma",
+    "ring.poll_hits",
+    "ring.polls",
+    // Schedule-exploration stalls (PR 4).
+    "schedule.stall",
+    // Server-side totals.
+    "server.cr_local",
+    "server.dup_suppressed",
+    "server.forwarded",
+    "server.malformed_req",
+    "server.responses",
+    // Tuner.
+    "tuner.frozen_windows",
+];
+
+/// Is `name` a pinned metric name?
+pub fn is_pinned_metric(name: &str) -> bool {
+    METRIC_SCHEMA.contains(&name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_has_no_duplicates() {
+        let mut seen = std::collections::BTreeSet::new();
+        for n in METRIC_SCHEMA {
+            assert!(seen.insert(n), "duplicate schema entry {n}");
+        }
+    }
+
+    #[test]
+    fn membership() {
+        assert!(is_pinned_metric("cr.hit"));
+        assert!(!is_pinned_metric("cr.hti"));
+    }
+}

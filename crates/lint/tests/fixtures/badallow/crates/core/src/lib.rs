@@ -1,0 +1,8 @@
+// A0 fixture: an allow directive with no justification is itself a
+// violation (the suppression still applies, but the directive is audited).
+
+pub fn stamp() -> u64 {
+    // utps-lint: allow(determinism)
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_nanos() as u64
+}

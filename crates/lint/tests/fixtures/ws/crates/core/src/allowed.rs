@@ -1,0 +1,8 @@
+// Suppression fixture: the wall-clock read below carries a justified
+// allow directive, so this file must contribute zero violations.
+
+pub fn seeded_stamp() -> u64 {
+    // utps-lint: allow(determinism) — fixture demonstrating a justified suppression
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,11 @@
+// R4 fixture: a metric name missing from the pinned schema list.
+
+pub struct Registry;
+
+impl Registry {
+    pub fn counter_inc(&mut self, _name: &'static str) {}
+}
+
+pub fn record(reg: &mut Registry) {
+    reg.counter_inc("cr.hti");
+}

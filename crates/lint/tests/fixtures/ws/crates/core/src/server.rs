@@ -1,0 +1,15 @@
+// R3 fixture: copying payload bytes out of the arena on the hot path.
+
+pub struct Arena {
+    bytes: Vec<u8>,
+}
+
+impl Arena {
+    pub fn get(&self, _r: u32) -> &[u8] {
+        &self.bytes
+    }
+}
+
+pub fn respond(payloads: &Arena, r: u32) -> Vec<u8> {
+    payloads.get(r).to_vec()
+}

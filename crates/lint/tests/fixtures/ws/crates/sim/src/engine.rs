@@ -1,0 +1,6 @@
+// R2 fixture: wall-clock read inside the deterministic zone.
+
+pub fn elapsed_ns() -> u64 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_nanos() as u64
+}

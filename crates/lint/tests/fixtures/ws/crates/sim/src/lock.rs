@@ -1,0 +1,5 @@
+// R5 fixture: `unsafe` with no safety argument immediately above it.
+
+pub fn read_raw(p: *const u64) -> u64 {
+    unsafe { *p }
+}

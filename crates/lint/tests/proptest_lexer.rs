@@ -1,0 +1,160 @@
+//! Property tests for the lint lexer: totality and span fidelity.
+//!
+//! The lexer is the foundation every rule stands on, and it must hold up on
+//! *malformed* input — a developer mid-edit has unterminated strings, stray
+//! quotes and half-written generics, and `utps-lint` still runs on that
+//! tree. Two generators attack it: (1) random splices of adversarial Rust
+//! fragments (comment openers, raw-string fences, lone backslashes, CJK and
+//! emoji bytes), and (2) arbitrary byte soup decoded lossily. The invariants
+//! checked are exactly what the rules rely on:
+//!
+//! * no panic, every token span non-empty and in bounds, on char boundaries;
+//! * spans strictly increasing, gaps between tokens are pure whitespace —
+//!   i.e. re-concatenating gap+token slices round-trips the source;
+//! * each token's recorded line/col agrees with its byte offset.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use utps_lint::lexer::lex;
+
+/// Adversarial building blocks: every lexer state machine edge has a
+/// fragment that enters or half-enters it.
+const FRAGMENTS: &[&str] = &[
+    "fn ",
+    "step",
+    "impl Stage<W> for X ",
+    "{",
+    "}",
+    "(",
+    ")",
+    "[",
+    "]",
+    ";",
+    "::",
+    ".",
+    "<",
+    ">",
+    "\"",
+    "\\",
+    "\"closed\"",
+    "'",
+    "'a",
+    "'a'",
+    "'\\n'",
+    "''",
+    "b'x'",
+    "b\"bytes\"",
+    "r\"raw\"",
+    "r#\"fenced\"#",
+    "r#\"",
+    "\"#",
+    "r##\"deep\"##",
+    "r#ident",
+    "//",
+    "// line\n",
+    "/*",
+    "*/",
+    "/* nested /* deep */ */",
+    "#[cfg(test)]",
+    "#![deny(x)]",
+    "0x1f_u64",
+    "1.5e3",
+    "1..2",
+    "42",
+    "unsafe",
+    "é€漢🦀",
+    "\n",
+    "\t",
+    "  ",
+    "let x = 1;",
+    ".clone()",
+    "// utps-lint: allow(R1) — t\n",
+];
+
+fn splice(picks: &[usize]) -> String {
+    picks
+        .iter()
+        .map(|&i| FRAGMENTS[i % FRAGMENTS.len()])
+        .collect()
+}
+
+/// The invariants every rule depends on.
+fn check_invariants(src: &str) {
+    let toks = lex(src);
+    let mut pos = 0usize;
+    for t in &toks {
+        assert!(t.end > t.start, "empty token at {} in {src:?}", t.start);
+        assert!(t.end <= src.len(), "span past EOF in {src:?}");
+        assert!(
+            src.is_char_boundary(t.start) && src.is_char_boundary(t.end),
+            "span off char boundary at {}..{} in {src:?}",
+            t.start,
+            t.end
+        );
+        assert!(
+            t.start >= pos,
+            "overlapping spans at {} in {src:?}",
+            t.start
+        );
+        assert!(
+            src[pos..t.start].chars().all(char::is_whitespace),
+            "non-whitespace gap {:?} in {src:?}",
+            &src[pos..t.start]
+        );
+        // Line/col must be recomputable from the offset alone.
+        let line = src[..t.start].bytes().filter(|&b| b == b'\n').count() + 1;
+        let col = t.start - src[..t.start].rfind('\n').map(|i| i + 1).unwrap_or(0) + 1;
+        assert_eq!(
+            (t.line, t.col),
+            (line as u32, col as u32),
+            "line/col drift in {src:?}"
+        );
+        pos = t.end;
+    }
+    assert!(
+        src[pos..].chars().all(char::is_whitespace),
+        "non-whitespace tail {:?} in {src:?}",
+        &src[pos..]
+    );
+    // Round-trip: gap + token slices reassemble the exact source.
+    let mut rebuilt = String::with_capacity(src.len());
+    let mut p = 0;
+    for t in &toks {
+        rebuilt.push_str(&src[p..t.start]);
+        rebuilt.push_str(&src[t.start..t.end]);
+        p = t.end;
+    }
+    rebuilt.push_str(&src[p..]);
+    assert_eq!(rebuilt, src);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn spliced_fragments_lex_totally(picks in vec(0usize..1024, 0..48)) {
+        check_invariants(&splice(&picks));
+    }
+
+    #[test]
+    fn arbitrary_bytes_lex_totally(bytes in vec(any::<u8>(), 0..256)) {
+        check_invariants(&String::from_utf8_lossy(&bytes));
+    }
+}
+
+#[test]
+fn known_nasty_cases() {
+    for src in [
+        "r#\"unterminated",
+        "\"\\",
+        "'\\",
+        "b'",
+        "/* /* /*",
+        "'''",
+        "r###",
+        "𝕊 = '𝕊'",
+        "let s = \"✓—≥\"; // ✓",
+    ] {
+        check_invariants(src);
+    }
+}

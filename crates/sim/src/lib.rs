@@ -22,12 +22,16 @@
 //! same event order and the same measured throughput, which the test suite
 //! relies on.
 
+// Unsafe hygiene (lint rule R5 rides on this): an `unsafe fn` body gets no
+// implicit unsafe block, so every unsafe *operation* needs its own block —
+// and therefore its own `// SAFETY:` argument.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod arena;
 pub mod cache;
 pub mod config;
 pub mod engine;
 pub mod fault;
-pub mod hashutil;
 pub mod lock;
 pub mod metrics;
 pub mod nic;
@@ -36,6 +40,9 @@ pub mod time;
 pub mod vaddr;
 
 pub use arena::{Arena, PayloadArena, PayloadRef};
+// Kept at its historical `utps_sim::hashutil` path; the module itself now
+// lives in utps-collections so the bottom layer can use the deterministic
+// hashers too (R2: no default-hasher maps in the deterministic zone).
 pub use cache::{CacheHierarchy, StatClass};
 pub use config::{CacheConfig, CostConfig, MachineConfig, NetConfig};
 pub use engine::{Ctx, Engine, Machine, ProcId, Process};
@@ -45,3 +52,4 @@ pub use metrics::{AccessKind, Metrics, MetricsRegistry, MetricsSnapshot};
 pub use nic::{DelayQueue, Fabric, Pipe};
 pub use schedule::{shrink_schedule, ScheduleConfig, ScheduleEvent, ScheduleMode, SchedulePlan};
 pub use time::{SimTime, MICROS, MILLIS, NANOS, SECS};
+pub use utps_collections::hashutil;

@@ -290,9 +290,13 @@ mod tests {
                 // A writer slips in between read and validate in half the
                 // iterations (driven by the engine interleaving).
                 let ok = w.opt.validate(ctx, v);
-                // SAFETY: single-threaded engine; Vec outlives the run.
-                unsafe { (*self.outcome).push(ok) };
-                if unsafe { (*self.outcome).len() } >= 5 {
+                // SAFETY: single-threaded engine; the Vec outlives the run
+                // and no other alias exists while this process is stepped.
+                let recorded = unsafe {
+                    (*self.outcome).push(ok);
+                    (*self.outcome).len()
+                };
+                if recorded >= 5 {
                     ctx.halt();
                 }
             }
