@@ -43,6 +43,8 @@ pub struct BaseWorld {
     pub responses: u64,
     /// Duplicate-PUT suppression table (active only under retry/faults).
     pub dedup: DedupTable,
+    /// Cluster admission hooks; `None` outside cluster runs.
+    pub cluster: Option<utps_core::shardctl::ShardCtl>,
 }
 
 impl KvWorld for BaseWorld {
@@ -119,17 +121,44 @@ impl BaseWorker {
                 world.ring.claim(ctx, seq);
                 // Monolithic loop: parse→index→copy→respond front-end churn.
                 ctx.stage_transitions(3);
-                // Retransmitted mutation already applied? Ack without
-                // re-executing (exactly-once under client retransmits).
-                let (rc, rs, sent_at, is_mutation) = {
+                let (rc, rs, sent_at, key, is_mutation) = {
                     let req = world.ring.request(seq);
                     (
                         req.client,
                         req.seq,
                         req.sent_at,
+                        req.op.key(),
                         matches!(req.op, Op::Put { .. } | Op::Delete { .. }),
                     )
                 };
+                // Cluster admission: bounce keys this shard no longer owns
+                // (frozen or migrated) so the client re-routes them — same
+                // semantics as the μTPS hook in `utps_core::server`.
+                if let Some(cl) = &world.cluster {
+                    if cl.admit(key, is_mutation) == utps_core::shardctl::Admit::Bounce {
+                        ctx.machine().registry.counter_inc("cluster.moved_bounce");
+                        if let Some(v) = world.ring.take_value(seq) {
+                            ctx.machine().payloads.free(v);
+                        }
+                        let resp = utps_core::msg::Response {
+                            client: rc,
+                            seq: rs,
+                            ok: false,
+                            moved: true,
+                            value: None,
+                            scan_count: 0,
+                            payload_extra: 0,
+                            resp_addr: 0,
+                            sent_at,
+                        };
+                        let resp_addr = world.resp.addr_for(self.id, seq);
+                        world.ring.abort(seq);
+                        send_response(ctx, &mut world.fabric, resp_addr, resp);
+                        continue;
+                    }
+                }
+                // Retransmitted mutation already applied? Ack without
+                // re-executing (exactly-once under client retransmits).
                 if is_mutation && world.dedup.enabled() && world.dedup.seen(rc, rs) {
                     ctx.machine().registry.counter_inc("server.dup_suppressed");
                     // The suppressed write's payload is never consumed.
@@ -140,6 +169,7 @@ impl BaseWorker {
                         client: rc,
                         seq: rs,
                         ok: true,
+                        moved: false,
                         value: None,
                         scan_count: 0,
                         payload_extra: 0,
@@ -151,6 +181,9 @@ impl BaseWorker {
                     world.responses += 1;
                     send_response(ctx, &mut world.fabric, resp_addr, resp);
                     continue;
+                }
+                if let Some(cl) = &world.cluster {
+                    cl.op_begin(key, seq);
                 }
                 let op = Self::build_op(ctx, world, self.id, seq);
                 self.ops.push(op);
@@ -175,6 +208,7 @@ impl BaseWorker {
                         client: req.client,
                         seq: req.seq,
                         ok: out.ok,
+                        moved: false,
                         value: if is_get { out.value } else { None },
                         scan_count: out.scan_count,
                         payload_extra: if is_get { 0 } else { out.payload },
@@ -183,6 +217,9 @@ impl BaseWorker {
                     };
                     let resp_addr = world.resp.addr_for(self.id, finished.seq);
                     world.dedup.record(resp.client, resp.seq);
+                    if let Some(cl) = &world.cluster {
+                        cl.op_end(finished.seq);
+                    }
                     world.ring.abort(finished.seq);
                     world.responses += 1;
                     send_response(ctx, &mut world.fabric, resp_addr, resp);
@@ -227,6 +264,7 @@ pub fn run_basekv_opts(cfg: &RunConfig, isolate_ddio: bool) -> RunResult {
         driver: DriverState::new(cfg.clients, SimTime(cfg.warmup)),
         responses: 0,
         dedup: DedupTable::new(cfg.clients, cfg.retry.enabled() || cfg.faults.net_active()),
+        cluster: None,
     };
     crate::run::run_pipeline(
         cfg,

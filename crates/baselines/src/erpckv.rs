@@ -201,6 +201,7 @@ impl ErpcWorker {
                         client: req.client,
                         seq: req.seq,
                         ok: out.ok,
+                        moved: false,
                         value: if is_get { out.value } else { None },
                         scan_count: out.scan_count,
                         payload_extra: if is_get { 0 } else { out.payload },

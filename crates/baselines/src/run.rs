@@ -88,6 +88,7 @@ pub fn result_from_driver<W>(
         history_digest,
         oracle,
         schedule_trace,
+        cluster: None,
     }
 }
 

@@ -1,0 +1,113 @@
+//! The cluster world: N per-shard server worlds behind one shared router.
+//!
+//! The engine hosts one [`ClusterWorld`] whose `shards` vector holds an
+//! unmodified per-shard world (μTPS's `UtpsWorld` or BaseKV's `BaseWorld`)
+//! per server machine. Per-shard processes (workers, managers) are wrapped
+//! in [`ShardProc`], which projects the cluster world down to the shard's
+//! own world — the shard pipelines run exactly the code they run
+//! single-machine, on their own simulated machine (see
+//! `utps_sim::Engine::add_machine`).
+
+use utps_core::client::{DriverState, KvWorld};
+use utps_core::retry::DedupTable;
+use utps_core::shardctl::ShardCtl;
+use utps_core::store::KvStore;
+use utps_sim::{Ctx, Process};
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::router::RouterState;
+
+/// What the cluster layer needs from a per-shard server world, over and
+/// above the client-facing [`KvWorld`]: store and dedup access for the
+/// migration/replica controllers, and a hook-installation point.
+pub trait ShardWorld: KvWorld + 'static {
+    /// The shard's store.
+    fn store(&self) -> &KvStore;
+
+    /// The shard's store, mutably (controller-side installs).
+    fn store_mut(&mut self) -> &mut KvStore;
+
+    /// The shard's duplicate-suppression table.
+    fn dedup(&self) -> &DedupTable;
+
+    /// The shard's duplicate-suppression table, mutably (migration absorb).
+    fn dedup_mut(&mut self) -> &mut DedupTable;
+
+    /// Installs the cluster admission hooks into the world.
+    fn install_cluster(&mut self, ctl: ShardCtl);
+}
+
+impl ShardWorld for utps_core::server::UtpsWorld {
+    fn store(&self) -> &KvStore {
+        &self.store
+    }
+    fn store_mut(&mut self) -> &mut KvStore {
+        &mut self.store
+    }
+    fn dedup(&self) -> &DedupTable {
+        &self.dedup
+    }
+    fn dedup_mut(&mut self) -> &mut DedupTable {
+        &mut self.dedup
+    }
+    fn install_cluster(&mut self, ctl: ShardCtl) {
+        self.cluster = Some(ctl);
+    }
+}
+
+impl ShardWorld for utps_baselines::basekv::BaseWorld {
+    fn store(&self) -> &KvStore {
+        &self.store
+    }
+    fn store_mut(&mut self) -> &mut KvStore {
+        &mut self.store
+    }
+    fn dedup(&self) -> &DedupTable {
+        &self.dedup
+    }
+    fn dedup_mut(&mut self) -> &mut DedupTable {
+        &mut self.dedup
+    }
+    fn install_cluster(&mut self, ctl: ShardCtl) {
+        self.cluster = Some(ctl);
+    }
+}
+
+/// The engine world of a cluster run.
+pub struct ClusterWorld<S> {
+    /// Per-shard server worlds, indexed by shard id (= machine id).
+    pub shards: Vec<S>,
+    /// Shared routing/ownership state (also behind every shard's hooks).
+    pub router: Rc<RefCell<RouterState>>,
+    /// Cluster-level measurement state; the per-shard worlds' own driver
+    /// fields stay empty (their tuners run in `Off` mode and never read it).
+    pub driver: DriverState,
+}
+
+/// Adapter running a per-shard process against the cluster world by
+/// projecting out its shard. Pure projection: all costs are charged by the
+/// inner process through the same `ctx`, so a wrapped worker is
+/// byte-identical to the same worker running single-machine.
+pub struct ShardProc<S> {
+    shard: usize,
+    inner: Box<dyn Process<S>>,
+}
+
+impl<S> ShardProc<S> {
+    /// Wraps `inner` to run against shard `shard`.
+    pub fn new(shard: usize, inner: Box<dyn Process<S>>) -> Self {
+        ShardProc { shard, inner }
+    }
+}
+
+impl<S: 'static> Process<ClusterWorld<S>> for ShardProc<S> {
+    fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut ClusterWorld<S>) {
+        self.inner.step(ctx, &mut world.shards[self.shard]);
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}

@@ -408,6 +408,7 @@ mod tests {
                     client: req.client,
                     seq: req.seq,
                     ok: true,
+                    moved: false,
                     value: None,
                     scan_count: 0,
                     payload_extra: 0,

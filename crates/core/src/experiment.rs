@@ -225,6 +225,66 @@ impl Default for RunConfig {
     }
 }
 
+/// Cluster-level measurements attached by the `utps-cluster` runner.
+///
+/// `None` for every single-machine run, which keeps [`stats_json`] (and the
+/// goldens pinned on it) byte-identical outside cluster mode.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ClusterStats {
+    /// Server machines in the cluster.
+    pub shards: usize,
+    /// Live shard migrations completed during the run.
+    pub migrations: u64,
+    /// Hash slots handed to a new owner across all migrations.
+    pub migrated_slots: u64,
+    /// Items copied between machines across all migrations.
+    pub migrated_items: u64,
+    /// Requests bounced with the `moved` bit (client re-routed them).
+    pub moved_bounces: u64,
+    /// GETs served by a replica instead of the owning shard.
+    pub replica_reads: u64,
+    /// Replica entries refreshed after a write invalidated them.
+    pub replica_refreshes: u64,
+    /// Completed ops routed to small-object shards (measured window).
+    pub routed_small: u64,
+    /// Completed ops routed to large-object shards (measured window).
+    pub routed_large: u64,
+    /// p99 latency of small-class ops (ns, measured window).
+    pub p99_small_ns: u64,
+    /// p99.9 latency of small-class ops (ns).
+    pub p999_small_ns: u64,
+    /// p99 latency of large-class ops (ns).
+    pub p99_large_ns: u64,
+    /// p99.9 latency of large-class ops (ns).
+    pub p999_large_ns: u64,
+}
+
+impl ClusterStats {
+    /// Renders the `"cluster"` section of [`stats_json`], deterministically.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"shards\":{},\"migrations\":{},\"migrated_slots\":{},\
+             \"migrated_items\":{},\"moved_bounces\":{},\"replica_reads\":{},\
+             \"replica_refreshes\":{},\"routed_small\":{},\"routed_large\":{},\
+             \"p99_small_ns\":{},\"p999_small_ns\":{},\"p99_large_ns\":{},\
+             \"p999_large_ns\":{}}}",
+            self.shards,
+            self.migrations,
+            self.migrated_slots,
+            self.migrated_items,
+            self.moved_bounces,
+            self.replica_reads,
+            self.replica_refreshes,
+            self.routed_small,
+            self.routed_large,
+            self.p99_small_ns,
+            self.p999_small_ns,
+            self.p99_large_ns,
+            self.p999_large_ns,
+        )
+    }
+}
+
 /// Measurements extracted from one run.
 #[derive(Clone, Debug)]
 pub struct RunResult {
@@ -286,6 +346,8 @@ pub struct RunResult {
     /// Schedule perturbations applied this run (empty when off); the trace
     /// to replay or shrink a failing exploration seed.
     pub schedule_trace: Vec<ScheduleEvent>,
+    /// Cluster-level stats; `None` outside `utps-cluster` runs.
+    pub cluster: Option<ClusterStats>,
 }
 
 /// Runs μTPS under `cfg` and returns its measurements.
@@ -332,6 +394,7 @@ pub fn run_utps_with_world(cfg: &RunConfig) -> (RunResult, UtpsWorld) {
         tuner_trace: Vec::new(),
         tuner_probes: Vec::new(),
         dedup: DedupTable::new(cfg.clients, cfg.retry.enabled() || cfg.faults.net_active()),
+        cluster: None,
     };
 
     // Cores: one per worker plus one for the manager.
@@ -469,6 +532,7 @@ pub fn extract_result(cfg: &RunConfig, eng: &mut Engine<UtpsWorld>) -> RunResult
         history_digest,
         oracle,
         schedule_trace,
+        cluster: None,
     }
 }
 
@@ -565,6 +629,11 @@ pub fn stats_json(r: &RunResult) -> String {
     s.push_str(&format!("\"retransmits\":{},", r.retransmits));
     s.push_str(&format!("\"dup_resps\":{},", r.dup_resps));
     s.push_str(&format!("\"failed\":{},", r.failed));
+    // Cluster section only in cluster runs: single-machine documents stay
+    // byte-identical to the pre-cluster goldens.
+    if let Some(c) = &r.cluster {
+        s.push_str(&format!("\"cluster\":{},", c.to_json()));
+    }
     s.push_str(&format!(
         "\"tuner_probes\":{},",
         tuner_probes_json(&r.tuner_probes)

@@ -29,6 +29,7 @@ pub mod msg;
 pub mod retry;
 pub mod rpc;
 pub mod server;
+pub mod shardctl;
 pub mod stage;
 pub mod store;
 pub mod tuner;

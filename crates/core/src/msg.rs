@@ -90,6 +90,11 @@ pub struct Response {
     pub seq: u64,
     /// Whether the key was found / the write applied.
     pub ok: bool,
+    /// Cluster mode only: the addressed shard no longer owns this key (it
+    /// is frozen or was migrated). The client must re-route the request —
+    /// same client sequence number — to the current owner. A header bit on
+    /// the wire; always `false` outside cluster runs.
+    pub moved: bool,
     /// Returned value (gets) or values (scans, concatenated logically);
     /// arena handle, freed by the client at receipt.
     pub value: Option<PayloadRef>,
@@ -155,6 +160,7 @@ mod tests {
             client: 0,
             seq: 2,
             ok: true,
+            moved: false,
             value: Some(arena.alloc(vec![1u8; 64].into_boxed_slice())),
             scan_count: 0,
             payload_extra: 0,

@@ -243,6 +243,34 @@ impl DedupTable {
         }
         false
     }
+
+    /// Merges another table's seen-set into this one (shard-migration
+    /// ownership handoff). Each table represents, per client, the set
+    /// `[0, floor) ∪ above`; the union of two such sets is
+    /// `[0, max(floors)) ∪ (above₁ ∪ above₂)` with the contiguous prefix
+    /// re-collapsed — exact, so a write executed on *either* shard is
+    /// suppressed on the new owner and exactly-once survives the handoff.
+    pub fn absorb(&mut self, other: &DedupTable) {
+        if !self.enabled || !other.enabled {
+            return;
+        }
+        let n = self.floors.len().max(other.floors.len());
+        self.floors.resize(n, 0);
+        self.above.resize_with(n, FxHashSet::default);
+        for c in 0..other.floors.len() {
+            let floor = self.floors[c].max(other.floors[c]);
+            for &seq in &other.above[c] {
+                if seq >= floor {
+                    self.above[c].insert(seq);
+                }
+            }
+            self.above[c].retain(|&s| s >= floor);
+            self.floors[c] = floor;
+            while self.above[c].remove(&self.floors[c]) {
+                self.floors[c] += 1;
+            }
+        }
+    }
 }
 
 #[cfg(test)]

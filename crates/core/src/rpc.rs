@@ -356,6 +356,7 @@ mod tests {
             client,
             seq,
             ok: true,
+            moved: false,
             value: None,
             scan_count: 0,
             payload_extra: 0,

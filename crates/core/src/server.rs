@@ -131,6 +131,9 @@ pub struct UtpsWorld {
     pub tuner_probes: Vec<crate::tuner::TunerProbe>,
     /// Exactly-once filter for retransmitted writes (see [`crate::retry`]).
     pub dedup: DedupTable,
+    /// Cluster admission hooks; `None` (single-machine) leaves every code
+    /// path byte-identical to the pre-cluster behavior.
+    pub cluster: Option<crate::shardctl::ShardCtl>,
 }
 
 impl KvWorld for UtpsWorld {
@@ -284,6 +287,7 @@ fn build_response(req: &Request, out: KvOpOutput, resp_addr: usize) -> Response 
         client: req.client,
         seq: req.seq,
         ok: out.ok,
+        moved: false,
         value: if is_get { out.value } else { None },
         scan_count: out.scan_count,
         payload_extra: if is_get { 0 } else { out.payload },
@@ -517,8 +521,40 @@ impl CrStage {
         ctx.stage_transitions(1);
         let client = req.client;
         let client_seq = req.seq;
+        let sent_at = req.sent_at;
         let op = req.op.clone();
         let key = op.key();
+
+        // Cluster admission: serve only keys this shard owns (or holds a
+        // valid read replica of). Anything else — the slot is frozen for
+        // migration, or ownership flipped while the request was in flight —
+        // bounces straight back with the `moved` bit; the client re-routes
+        // it under the same client sequence number, so exactly-once holds
+        // across the handoff.
+        if let Some(cl) = &world.cluster {
+            let is_write = matches!(op, Op::Put { .. } | Op::Delete { .. });
+            if cl.admit(key, is_write) == crate::shardctl::Admit::Bounce {
+                ctx.machine().registry.counter_inc("cluster.moved_bounce");
+                if let Some(v) = world.ring.take_value(seq) {
+                    ctx.machine().payloads.free(v);
+                }
+                let resp_addr = world.resp.addr_for(id, seq);
+                let resp = Response {
+                    client,
+                    seq: client_seq,
+                    ok: false,
+                    moved: true,
+                    value: None,
+                    scan_count: 0,
+                    payload_extra: 0,
+                    resp_addr,
+                    sent_at,
+                };
+                world.ring.abort(seq);
+                send_response(ctx, &mut world.fabric, resp_addr, resp);
+                return;
+            }
+        }
 
         // Sequence-number dedup: a retransmitted write whose original
         // already completed must not execute again — answer it again
@@ -545,6 +581,11 @@ impl CrStage {
             world.stats.responses += 1;
             send_response(ctx, &mut world.fabric, resp_addr, resp);
             return;
+        }
+
+        // In-flight accounting for the migration controller's freeze/drain.
+        if let Some(cl) = &world.cluster {
+            cl.op_begin(key, seq);
         }
 
         // Sampling for the hot-set tracker.
@@ -714,6 +755,9 @@ impl CrStage {
                 let resp_addr = resp.resp_addr;
                 world.stats.responses += 1;
                 world.dedup.record(resp.client, resp.seq);
+                if let Some(cl) = &world.cluster {
+                    cl.op_end(seq);
+                }
                 ctx.machine().registry.counter_inc("cr.response");
                 send_response(ctx, &mut world.fabric, resp_addr, resp);
             }
@@ -744,6 +788,9 @@ impl CrStage {
             let resp_addr = resp.resp_addr;
             world.stats.responses += 1;
             world.dedup.record(resp.client, resp.seq);
+            if let Some(cl) = &world.cluster {
+                cl.op_end(seq);
+            }
             ctx.machine().registry.counter_inc("cr.response");
             send_response(ctx, &mut world.fabric, resp_addr, resp);
         }
@@ -1018,6 +1065,9 @@ fn finish_local(
     world.ring.abort(seq);
     world.stats.responses += 1;
     world.dedup.record(resp.client, resp.seq);
+    if let Some(cl) = &world.cluster {
+        cl.op_end(seq);
+    }
     let hit_ns = ctx.now().since(started) / utps_sim::time::NANOS;
     let reg = &mut ctx.machine().registry;
     reg.counter_inc("cr.response");

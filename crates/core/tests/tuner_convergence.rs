@@ -56,6 +56,7 @@ fn build_world() -> UtpsWorld {
         tuner_trace: Vec::new(),
         tuner_probes: Vec::new(),
         dedup: utps_core::retry::DedupTable::new(1, false),
+        cluster: None,
     }
 }
 

@@ -214,6 +214,24 @@ impl ItemStore {
         Step::Done(())
     }
 
+    /// Uncharged in-place value install, used by the cluster migration and
+    /// replica-refresh controllers: the transfer cost is charged at the
+    /// controller (link serialization + copy compute), not per byte here.
+    /// Must only be called at a quiescent point for the item (the caller
+    /// drains in-flight ops first), so no lock/version traffic is modeled.
+    pub fn set_value_native(&mut self, id: ItemId, val: &[u8]) {
+        let old_len = self.items[id].val.len();
+        if old_len == val.len() {
+            self.items[id].val.copy_from_slice(val);
+        } else {
+            self.bytes = self.bytes - old_len + val.len();
+            let new_addr = self.bump_value_block(val.len());
+            let item = &mut self.items[id];
+            item.val = val.into();
+            item.val_addr = new_addr;
+        }
+    }
+
     /// Whether the item's writer lock is currently held (diagnostics).
     pub fn is_locked(&self, id: ItemId) -> bool {
         self.items[id].lock.is_locked()

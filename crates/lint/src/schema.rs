@@ -20,6 +20,17 @@ pub const METRIC_SCHEMA: &[&str] = &[
     "cfg.cache_items",
     "cfg.mr_ways",
     "cfg.n_cr",
+    // Cluster scale-out: routing, migration and replication tallies plus
+    // the per-size-class latency gauges (PR 7).
+    "cluster.migrated_items",
+    "cluster.migrated_slots",
+    "cluster.migrations",
+    "cluster.moved_bounce",
+    "cluster.replica_read",
+    "cluster.replica_refresh",
+    "cluster.routed_large",
+    "cluster.routed_small",
+    "cluster.shards",
     // CR stage.
     "cr.forward",
     "cr.hit",
@@ -40,6 +51,11 @@ pub const METRIC_SCHEMA: &[&str] = &[
     // Hot-cache hit tracking.
     "hot.hits",
     "hot.misses",
+    // Per-size-class latency gauges reported by cluster runs (PR 7).
+    "latency.p99.large",
+    "latency.p99.small",
+    "latency.p999.large",
+    "latency.p999.small",
     // MR stage.
     "mr.batch_size",
     "mr.interleave_depth",

@@ -73,8 +73,15 @@ impl Machine {
 }
 
 /// Per-step execution context handed to a [`Process`].
+///
+/// A process belongs to exactly one machine (single-machine simulations have
+/// only machine 0); its memory accesses are charged against that machine's
+/// cache hierarchy and its instruments land in that machine's registry.
+/// Cluster-level processes (routers, migration controllers) may reach the
+/// other machines through [`Ctx::machine_at`].
 pub struct Ctx<'a> {
-    machine: &'a mut Machine,
+    machines: &'a mut [Machine],
+    mid: usize,
     pid: ProcId,
     core: Option<usize>,
     class: StatClass,
@@ -106,9 +113,27 @@ impl<'a> Ctx<'a> {
         self.class = class;
     }
 
-    /// Direct access to the machine (CLOS reconfiguration, metrics).
+    /// Direct access to the machine this process runs on (CLOS
+    /// reconfiguration, metrics).
     pub fn machine(&mut self) -> &mut Machine {
-        self.machine
+        &mut self.machines[self.mid]
+    }
+
+    /// Index of the machine this process runs on.
+    pub fn machine_id(&self) -> usize {
+        self.mid
+    }
+
+    /// Number of machines in the simulation.
+    pub fn machine_count(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Access to an arbitrary machine of the simulation. Cluster-level
+    /// processes (shard routers, migration controllers) use this to touch
+    /// the payload arenas and registries of other server machines.
+    pub fn machine_at(&mut self, idx: usize) -> &mut Machine {
+        &mut self.machines[idx]
     }
 
     /// Charges a memory read of `len` bytes at `addr`.
@@ -122,12 +147,12 @@ impl<'a> Ctx<'a> {
     }
 
     fn mem(&mut self, addr: usize, len: usize, write: bool) {
+        let m = &mut self.machines[self.mid];
         let cost = match self.core {
-            Some(core) => self
-                .machine
+            Some(core) => m
                 .cache
                 .access(core, self.class, addr, len, write, self.clock),
-            None => self.machine.cfg.cost.l1_hit,
+            None => m.cfg.cost.l1_hit,
         };
         self.clock += cost;
     }
@@ -140,24 +165,23 @@ impl<'a> Ctx<'a> {
     /// Charges an atomic that keeps its line busy for `hold_ps` extra
     /// picoseconds (a short lock-protected critical section).
     pub fn atomic_hold(&mut self, addr: usize, hold_ps: u64) {
+        let m = &mut self.machines[self.mid];
         let cost = match self.core {
-            Some(core) => self
-                .machine
+            Some(core) => m
                 .cache
                 .atomic_hold(core, self.class, addr, self.clock, hold_ps),
-            None => self.machine.cfg.cost.l1_hit + self.machine.cfg.cost.atomic_extra,
+            None => m.cfg.cost.l1_hit + m.cfg.cost.atomic_extra,
         };
         self.clock += cost;
     }
 
     /// Issues a software prefetch for `len` bytes at `addr`.
     pub fn prefetch(&mut self, addr: usize, len: usize) {
+        let m = &mut self.machines[self.mid];
         if let Some(core) = self.core {
-            self.machine
-                .cache
-                .prefetch(core, self.class, addr, len, self.clock);
+            m.cache.prefetch(core, self.class, addr, len, self.clock);
         }
-        self.clock += self.machine.cfg.cost.prefetch_issue;
+        self.clock += m.cfg.cost.prefetch_issue;
     }
 
     /// Charges `ns` nanoseconds of pure computation.
@@ -172,20 +196,20 @@ impl<'a> Ctx<'a> {
 
     /// Charges one spin-loop iteration (contended lock, empty queue).
     pub fn spin(&mut self) {
-        self.clock += self.machine.cfg.cost.spin_quantum;
+        self.clock += self.machines[self.mid].cfg.cost.spin_quantum;
     }
 
     /// Charges one stackless-coroutine switch (batched-FSM executors call
     /// this per interleaved poll; §3.3).
     pub fn fsm_switch(&mut self) {
-        self.clock += self.machine.cfg.cost.fsm_switch;
+        self.clock += self.machines[self.mid].cfg.cost.fsm_switch;
     }
 
     /// Charges `n` functional-stage transitions (front-end refills). A
     /// run-to-completion worker crosses parse→index→copy→respond on every
     /// request; a staged worker stays within one stage's code.
     pub fn stage_transitions(&mut self, n: u64) {
-        self.clock += n * self.machine.cfg.cost.stage_transition;
+        self.clock += n * self.machines[self.mid].cfg.cost.stage_transition;
     }
 
     /// Advances the local clock to `t` (sleep/backoff); no-op if in the past.
@@ -209,15 +233,22 @@ impl<'a> Ctx<'a> {
 struct ProcEntry<W> {
     proc: Box<dyn Process<W>>,
     clock: SimTime,
+    machine: usize,
     core: Option<usize>,
     class: StatClass,
 }
 
 /// The simulation engine over a world `W`.
+///
+/// The engine hosts one or more [`Machine`]s under a single global clock:
+/// every process is pinned to a machine (and optionally to one of its
+/// cores), so a sharded cluster of N server machines runs inside the same
+/// deterministic event loop as a single-machine experiment — machine 0 is
+/// the only machine unless [`Engine::add_machine`] is called.
 pub struct Engine<W> {
     /// Shared world state all processes operate on.
     pub world: W,
-    machine: Machine,
+    machines: Vec<Machine>,
     procs: Vec<Option<ProcEntry<W>>>,
     heap: BinaryHeap<Reverse<(SimTime, ProcId)>>,
     now: SimTime,
@@ -229,7 +260,7 @@ impl<W> Engine<W> {
     pub fn new(cfg: MachineConfig, cores: usize, world: W) -> Self {
         Engine {
             world,
-            machine: Machine::new(cfg, cores),
+            machines: vec![Machine::new(cfg, cores)],
             procs: Vec::new(),
             heap: BinaryHeap::new(),
             now: SimTime::ZERO,
@@ -237,19 +268,39 @@ impl<W> Engine<W> {
         }
     }
 
-    /// Registers a process. `core: Some(c)` pins it to server core `c` (its
-    /// memory accesses are charged against that core's caches); `None` runs
-    /// it on an unmodeled CPU.
+    /// Adds another server machine (its own cache hierarchy, registry,
+    /// fault plan and payload arena) and returns its index.
+    pub fn add_machine(&mut self, cfg: MachineConfig, cores: usize) -> usize {
+        self.machines.push(Machine::new(cfg, cores));
+        self.machines.len() - 1
+    }
+
+    /// Registers a process on machine 0. `core: Some(c)` pins it to server
+    /// core `c` (its memory accesses are charged against that core's
+    /// caches); `None` runs it on an unmodeled CPU.
     pub fn spawn(
         &mut self,
         core: Option<usize>,
         class: StatClass,
         proc: Box<dyn Process<W>>,
     ) -> ProcId {
+        self.spawn_on(0, core, class, proc)
+    }
+
+    /// Registers a process on machine `machine`.
+    pub fn spawn_on(
+        &mut self,
+        machine: usize,
+        core: Option<usize>,
+        class: StatClass,
+        proc: Box<dyn Process<W>>,
+    ) -> ProcId {
+        assert!(machine < self.machines.len(), "no machine {machine}");
         let pid = self.procs.len();
         self.procs.push(Some(ProcEntry {
             proc,
             clock: self.now,
+            machine,
             core,
             class,
         }));
@@ -267,14 +318,29 @@ impl<W> Engine<W> {
         self.steps
     }
 
-    /// The machine (for CLOS changes, metrics snapshots).
+    /// Machine 0 (for CLOS changes, metrics snapshots).
     pub fn machine(&mut self) -> &mut Machine {
-        &mut self.machine
+        &mut self.machines[0]
     }
 
-    /// Immutable view of the machine.
+    /// Immutable view of machine 0.
     pub fn machine_ref(&self) -> &Machine {
-        &self.machine
+        &self.machines[0]
+    }
+
+    /// Mutable access to machine `idx`.
+    pub fn machine_mut(&mut self, idx: usize) -> &mut Machine {
+        &mut self.machines[idx]
+    }
+
+    /// Immutable view of machine `idx`.
+    pub fn machine_at(&self, idx: usize) -> &Machine {
+        &self.machines[idx]
+    }
+
+    /// Number of machines in the simulation.
+    pub fn machine_count(&self) -> usize {
+        self.machines.len()
     }
 
     /// Runs until every live process's clock is ≥ `deadline` (or no process
@@ -291,13 +357,14 @@ impl<W> Engine<W> {
                 None => continue,
             };
             debug_assert_eq!(entry.clock, t);
+            let mid = entry.machine;
             // Schedule exploration: at seed-chosen decisions, stall the
             // popped process so whichever process is next in clock order
             // runs first. Counted per pop, so every run — perturbed or
             // replayed — sees the same decision indexing.
-            if self.machine.schedule.armed() {
-                if let Some(stall_ps) = self.machine.schedule.on_pop(pid) {
-                    self.machine.registry.counter_inc("schedule.stall");
+            if self.machines[mid].schedule.armed() {
+                if let Some(stall_ps) = self.machines[mid].schedule.on_pop(pid) {
+                    self.machines[mid].registry.counter_inc("schedule.stall");
                     let end = t + stall_ps;
                     entry.clock = end;
                     self.heap.push(Reverse((end, pid)));
@@ -308,11 +375,11 @@ impl<W> Engine<W> {
             // A core inside a stall window executes nothing: defer its next
             // step to the window end. Guarded so fault-free runs never pay
             // for the check beyond one branch.
-            if self.machine.faults.has_stalls() {
+            if self.machines[mid].faults.has_stalls() {
                 if let Some(core) = entry.core {
-                    if let Some(end) = self.machine.faults.stall_until(core, t) {
-                        self.machine.faults.note_stall_defer();
-                        self.machine.registry.counter_inc("fault.stall_defer");
+                    if let Some(end) = self.machines[mid].faults.stall_until(core, t) {
+                        self.machines[mid].faults.note_stall_defer();
+                        self.machines[mid].registry.counter_inc("fault.stall_defer");
                         entry.clock = end;
                         self.heap.push(Reverse((end, pid)));
                         self.procs[pid] = Some(entry);
@@ -321,7 +388,8 @@ impl<W> Engine<W> {
                 }
             }
             let mut ctx = Ctx {
-                machine: &mut self.machine,
+                machines: &mut self.machines,
+                mid,
                 pid,
                 core: entry.core,
                 class: entry.class,
@@ -335,7 +403,7 @@ impl<W> Engine<W> {
             entry.class = ctx.class;
             if new_clock == t {
                 // Idle polling iteration.
-                new_clock += self.machine.cfg.cost.poll_quantum;
+                new_clock += self.machines[mid].cfg.cost.poll_quantum;
             }
             entry.clock = new_clock;
             self.now = t;

@@ -16,6 +16,7 @@
 //! | [`index`] | concurrent cuckoo hash + OLC B+-tree over simulated memory |
 //! | [`core`] | the μTPS server, CR-MR queue, reconfigurable RPC, auto-tuner |
 //! | [`baselines`] | BaseKV (RTC), eRPCKV (share-nothing), RaceHash, Sherman |
+//! | [`cluster`] | sharded scale-out: size/heat-aware router, live migration |
 //! | [`workload`] | YCSB, ETC, Twitter-cluster and dynamic generators |
 //! | [`oracle`] | linearizability checker over client-observed op histories |
 //!
@@ -46,6 +47,7 @@
 //! ```
 
 pub use utps_baselines as baselines;
+pub use utps_cluster as cluster;
 pub use utps_collections as collections;
 pub use utps_core as core;
 pub use utps_index as index;
@@ -56,6 +58,7 @@ pub use utps_workload as workload;
 /// The most common imports for driving experiments.
 pub mod prelude {
     pub use utps_baselines::run;
+    pub use utps_cluster::{run_cluster, ClusterConfig, LinkConfig, MigrationSpec, SizeClass};
     pub use utps_core::experiment::{run_utps, RunConfig, RunResult, SystemKind, WorkloadSpec};
     pub use utps_core::retry::RetryConfig;
     pub use utps_core::tuner::{TunerMode, TunerParams};

@@ -310,6 +310,80 @@ fn lease_reclaims_stalled_worker_batch() {
     );
 }
 
+/// A 4-shard cluster with one live migration mid-measurement; `link`
+/// carries the inter-machine fault plan for the migration transfer.
+fn cluster_chaos_cfg(link: LinkConfig) -> ClusterConfig {
+    ClusterConfig {
+        // Slot 2 starts round-robin-owned by shard 2; moving it to shard 0
+        // mid-measurement is a guaranteed live rebalance.
+        migrations: vec![MigrationSpec {
+            at_ps: 800 * MICROS,
+            class: SizeClass::Small,
+            slot: 2,
+            to_shard: 0,
+        }],
+        link,
+        ..ClusterConfig::new(chaos_cfg(IndexKind::Hash, FaultConfig::default()), 4)
+    }
+}
+
+#[test]
+fn cluster_link_faults_preserve_exactly_once() {
+    // Every inter-machine link fault class against a 4-shard cluster with a
+    // live rebalance: drops (chunk retransmitted), duplicates (idempotent
+    // double install), delays, and all three at once. The exactly-once
+    // ledger must balance and a faulty link may not halve throughput —
+    // the migration moves data, not correctness or the fast path.
+    let classes: Vec<(&str, LinkConfig)> = vec![
+        (
+            "link-drop",
+            LinkConfig {
+                drop_prob: 0.05,
+                ..LinkConfig::default()
+            },
+        ),
+        (
+            "link-dup",
+            LinkConfig {
+                dup_prob: 0.05,
+                ..LinkConfig::default()
+            },
+        ),
+        (
+            "link-delay",
+            LinkConfig {
+                delay_prob: 0.10,
+                ..LinkConfig::default()
+            },
+        ),
+        ("link-all", LinkConfig::chaos_default()),
+    ];
+    for system in [SystemKind::Utps, SystemKind::BaseKv] {
+        let clean_cfg = cluster_chaos_cfg(LinkConfig::default());
+        let clean = run_cluster(system, &clean_cfg);
+        assert_exactly_once(
+            &format!("{}/link-clean", system.name()),
+            &clean,
+            &clean_cfg.base,
+        );
+        for (class, link) in &classes {
+            let tag = format!("{}/{class}", system.name());
+            let cfg = cluster_chaos_cfg(link.clone());
+            let r = run_cluster(system, &cfg);
+            assert_exactly_once(&tag, &r, &cfg.base);
+            let cl = r.cluster.as_ref().expect("cluster stats missing");
+            assert_eq!(cl.migrations, 1, "{tag}: the rebalance never finished");
+            assert!(cl.migrated_items > 0, "{tag}: rebalance moved nothing");
+            assert!(
+                r.mops >= 0.5 * clean.mops,
+                "{tag}: {:.2} Mops vs clean {:.2} Mops",
+                r.mops,
+                clean.mops
+            );
+        }
+    }
+}
+
 #[test]
 fn tuner_freezes_under_fault_pressure() {
     // With faults active inside a window the tuner must hold its

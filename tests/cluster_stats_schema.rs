@@ -1,0 +1,152 @@
+//! Golden-file regression test for the *cluster* `stats_json` schema.
+//!
+//! A non-trivial cluster run adds a `cluster` section (shard count,
+//! migration/replication tallies, per-size-class p99/p999) and pins the
+//! `cluster.*` / `latency.p99.*` metric names in the snapshot. Dropping or
+//! renaming any of these must fail loudly — they are consumed by the same
+//! plotting/CI tooling as the single-machine schema.
+//!
+//! To regenerate after an intentional schema change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test cluster_stats_schema
+//! ```
+
+use utps::prelude::*;
+use utps::sim::time::MICROS;
+use utps_core::experiment::stats_json;
+
+const GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/cluster_stats_schema.txt"
+);
+
+fn schema_cfg() -> ClusterConfig {
+    let base = RunConfig {
+        index: IndexKind::Hash,
+        keys: 20_000,
+        workers: 6,
+        n_cr: 2,
+        clients: 12,
+        pipeline: 4,
+        warmup: 500 * MICROS,
+        duration: 1_200 * MICROS,
+        machine: MachineConfig::tiny(),
+        hot_capacity: 1_000,
+        sample_every: 2,
+        seed: 42,
+        workload: WorkloadSpec::Ycsb {
+            mix: Mix::A,
+            theta: 0.99,
+            value_len: 64,
+            scan_len: 20,
+        },
+        retry: RetryConfig::chaos_default(),
+        ..RunConfig::default()
+    };
+    ClusterConfig {
+        large_shards: 1,
+        large_keys: 500,
+        replicate_keys: vec![0, 1],
+        migrations: vec![MigrationSpec {
+            at_ps: 800 * MICROS,
+            class: SizeClass::Small,
+            slot: 3,
+            to_shard: 0,
+        }],
+        link: LinkConfig::chaos_default(),
+        ..ClusterConfig::new(base, 2)
+    }
+}
+
+/// Every `"key":` in document order. String *values* are skipped because a
+/// closing quote followed by anything but `:` is not a key.
+fn keys_of(json: &str) -> Vec<String> {
+    let bytes = json.as_bytes();
+    let mut keys = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            let start = i + 1;
+            let mut j = start;
+            while j < bytes.len() && bytes[j] != b'"' {
+                j += 1;
+            }
+            let mut k = j + 1;
+            while k < bytes.len() && (bytes[k] as char).is_whitespace() {
+                k += 1;
+            }
+            if k < bytes.len() && bytes[k] == b':' {
+                keys.push(json[start..j].to_string());
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    keys
+}
+
+#[test]
+fn cluster_stats_json_schema_matches_golden() {
+    let r = run_cluster(SystemKind::Utps, &schema_cfg());
+    let got = keys_of(&stats_json(&r)).join("\n") + "\n";
+
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(GOLDEN, &got).expect("cannot write golden file");
+        return;
+    }
+
+    let want = std::fs::read_to_string(GOLDEN)
+        .expect("golden file missing — run with UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        got, want,
+        "cluster stats_json schema changed; if intentional, regenerate with \
+         UPDATE_GOLDEN=1 cargo test --test cluster_stats_schema"
+    );
+}
+
+#[test]
+fn cluster_metrics_are_pinned_in_schema() {
+    // The cluster metric names must be present on every non-trivial cluster
+    // run — including the per-size-class latency gauges — so dashboards
+    // never see a shifting schema.
+    let json = stats_json(&run_cluster(SystemKind::Utps, &schema_cfg()));
+    for key in [
+        "cluster.migrated_items",
+        "cluster.migrated_slots",
+        "cluster.migrations",
+        "cluster.moved_bounce",
+        "cluster.replica_read",
+        "cluster.replica_refresh",
+        "cluster.routed_large",
+        "cluster.routed_small",
+        "cluster.shards",
+        "latency.p99.large",
+        "latency.p99.small",
+        "latency.p999.large",
+        "latency.p999.small",
+        "p99_small_ns",
+        "p999_small_ns",
+        "p99_large_ns",
+        "p999_large_ns",
+    ] {
+        assert!(
+            json.contains(&format!("\"{key}\":")),
+            "cluster stats JSON lost pinned key {key}"
+        );
+    }
+}
+
+#[test]
+fn trivial_cluster_run_has_no_cluster_section() {
+    // The other face of N=1 transparency: a trivial cluster must not leak
+    // any cluster key into the document.
+    let cfg = ClusterConfig::new(schema_cfg().base, 1);
+    assert!(cfg.is_trivial());
+    let json = stats_json(&run_cluster(SystemKind::Utps, &cfg));
+    assert!(
+        !json.contains("\"cluster") && !json.contains("\"latency.p99"),
+        "trivial one-shard cluster leaked cluster keys into stats_json"
+    );
+}
