@@ -26,7 +26,7 @@ use utps_core::store::KvStore;
 use utps_index::Index;
 use utps_sim::nic::Fabric;
 use utps_sim::time::{SimTime, NANOS};
-use utps_sim::{Ctx, Process, StatClass};
+use utps_sim::{Ctx, Process, StatClass, StepOutcome};
 use utps_workload::{Op, Workload};
 
 /// A one-sided verb on the wire.
@@ -97,7 +97,7 @@ pub struct PassiveWorld {
 pub struct VerbEngine;
 
 impl Process<PassiveWorld> for VerbEngine {
-    fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut PassiveWorld) {
+    fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut PassiveWorld) -> StepOutcome {
         let now = ctx.now();
         let mut worked = false;
         for _ in 0..16 {
@@ -182,7 +182,9 @@ impl Process<PassiveWorld> for VerbEngine {
             if let Some(at) = next_arrival(&world.fabric) {
                 ctx.advance_to(at);
             }
+            return StepOutcome::Idle;
         }
+        StepOutcome::Progress
     }
 
     fn name(&self) -> &'static str {
@@ -321,7 +323,7 @@ impl PassiveClient {
 }
 
 impl Process<PassiveWorld> for PassiveClient {
-    fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut PassiveWorld) {
+    fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut PassiveWorld) -> StepOutcome {
         let now = ctx.now();
         if self.awaiting {
             match world.fabric.client_poll(self.id as usize, now) {
@@ -334,7 +336,7 @@ impl Process<PassiveWorld> for PassiveClient {
                     if let Some(at) = world.fabric.client_next_at(self.id as usize) {
                         ctx.advance_to(at);
                     }
-                    return;
+                    return StepOutcome::Idle;
                 }
             }
         }
@@ -372,6 +374,7 @@ impl Process<PassiveWorld> for PassiveClient {
             },
         );
         self.awaiting = true;
+        StepOutcome::Progress
     }
 
     fn name(&self) -> &'static str {

@@ -1,0 +1,230 @@
+//! `utps-bench` — harness-throughput benchmark (ROADMAP item 5).
+//!
+//! Measures how fast the *simulator itself* runs, as opposed to how fast the
+//! simulated systems are: wall-clock simulated-ops/sec and engine steps/sec
+//! over the Figure-7 sweep grid. The numbers are written to
+//! `bench_results/BENCH_harness.json` so the ≥5× harness-throughput target
+//! can be tracked PR-over-PR.
+//!
+//! ```text
+//! utps-bench harness [--quick|--full] [--smoke] [--seed N]
+//!                    [--baseline STEPS_PER_SEC] [--out PATH]
+//! ```
+//!
+//! The default grid is the fig7 sweep config at the given scale — both
+//! indexes × the six operation mixes × 64 B items × all four
+//! request/response systems (μTPS runs untuned: the fig7 probe phase would
+//! only add more engine runs without changing what is measured, the
+//! engine's step rate). `--smoke` cuts the grid to one cell × four systems
+//! for CI smoke jobs. Runs are seeded and deterministic; only the wall-clock
+//! fields vary between hosts.
+
+use std::time::Instant;
+
+use utps_bench::{base_config, Cli, Scale};
+use utps_core::experiment::{run_utps, RunConfig, RunResult, SystemKind, WorkloadSpec};
+use utps_index::IndexKind;
+use utps_sim::metrics::json_f64;
+use utps_workload::Mix;
+
+/// The fig7 operation mixes: (label, mix, zipfian θ).
+const MIXES: [(&str, Mix, f64); 6] = [
+    ("A", Mix::A, 0.99),
+    ("B", Mix::B, 0.99),
+    ("C", Mix::C, 0.99),
+    ("PUT-S", Mix::PUT_ONLY, 0.99),
+    ("GET-U", Mix::C, 0.0),
+    ("PUT-U", Mix::PUT_ONLY, 0.0),
+];
+
+/// One measured cell.
+struct Cell {
+    label: String,
+    sim_ops: u64,
+    steps: u64,
+    bursts: u64,
+    cascades: u64,
+    wall_s: f64,
+}
+
+fn run_one(system: SystemKind, cfg: &RunConfig) -> (RunResult, f64) {
+    let start = Instant::now();
+    let r = match system {
+        // Untuned μTPS: one engine run per cell, like every other system.
+        SystemKind::Utps => run_utps(cfg),
+        other => utps_baselines::run(other, cfg),
+    };
+    (r, start.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let sub = cli.args.first().map(String::as_str).unwrap_or("harness");
+    if sub != "harness" {
+        eprintln!("usage: utps-bench harness [--quick|--full] [--smoke] [--seed N] [--baseline S] [--out PATH]");
+        std::process::exit(2);
+    }
+    let mut seed: u64 = 42;
+    let mut smoke = false;
+    let mut baseline: Option<f64> = None;
+    let mut out = String::from("bench_results/BENCH_harness.json");
+    let mut it = cli.args.iter().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--seed" => seed = it.next().expect("--seed N").parse().expect("seed"),
+            "--baseline" => {
+                baseline = Some(it.next().expect("--baseline S").parse().expect("baseline"))
+            }
+            "--out" => out = it.next().expect("--out PATH").clone(),
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let indexes: &[IndexKind] = if smoke {
+        &[IndexKind::Tree]
+    } else {
+        &[IndexKind::Tree, IndexKind::Hash]
+    };
+    let mixes: &[(&str, Mix, f64)] = if smoke { &MIXES[..1] } else { &MIXES };
+    let size = 64usize;
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for &index in indexes {
+        let passive = if index == IndexKind::Tree {
+            SystemKind::Sherman
+        } else {
+            SystemKind::RaceHash
+        };
+        for &(label, mix, theta) in mixes {
+            let cfg = RunConfig {
+                index,
+                seed,
+                cache_enabled: theta > 0.0,
+                workload: WorkloadSpec::Ycsb {
+                    mix,
+                    theta,
+                    value_len: size,
+                    scan_len: 50,
+                },
+                ..base_config(cli.scale)
+            };
+            for system in [
+                SystemKind::Utps,
+                SystemKind::BaseKv,
+                SystemKind::ErpcKv,
+                passive,
+            ] {
+                let (r, wall_s) = run_one(system, &cfg);
+                let cell = Cell {
+                    label: format!("{:?}/{label}/{size}B/{}", index, system.name()),
+                    sim_ops: r.completed_total,
+                    steps: r.engine_steps,
+                    bursts: r.engine_bursts,
+                    cascades: r.engine_wheel_cascades,
+                    wall_s,
+                };
+                eprintln!(
+                    "[utps-bench] {} done: {:.2}s wall, {:.2}M steps ({:.2}M steps/s)",
+                    cell.label,
+                    wall_s,
+                    cell.steps as f64 / 1e6,
+                    cell.steps as f64 / wall_s / 1e6,
+                );
+                cells.push(cell);
+            }
+        }
+    }
+
+    let wall_s: f64 = cells.iter().map(|c| c.wall_s).sum();
+    let sim_ops: u64 = cells.iter().map(|c| c.sim_ops).sum();
+    let steps: u64 = cells.iter().map(|c| c.steps).sum();
+    let bursts: u64 = cells.iter().map(|c| c.bursts).sum();
+    let cascades: u64 = cells.iter().map(|c| c.cascades).sum();
+    let steps_per_sec = steps as f64 / wall_s;
+    let ops_per_sec = sim_ops as f64 / wall_s;
+
+    // Fold the engine counters through a registry under their lint-pinned
+    // names (`crates/lint/src/schema.rs`) so the schema entries stay honest.
+    let mut reg = utps_sim::MetricsRegistry::new();
+    reg.counter_add("engine.bursts", bursts);
+    reg.counter_add("engine.wheel_cascades", cascades);
+
+    let mut s = String::from("{\"bench\":\"harness\",");
+    s.push_str(&format!("\"seed\":{seed},"));
+    s.push_str(&format!(
+        "\"scale\":\"{}\",",
+        if cli.scale == Scale::Full {
+            "full"
+        } else {
+            "quick"
+        }
+    ));
+    s.push_str(&format!("\"smoke\":{smoke},"));
+    s.push_str("\"grid\":\"fig7 sweep: indexes x mixes x 64B x 4 systems (uTPS untuned)\",");
+    s.push_str("\"cells\":[");
+    for (i, c) in cells.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "{{\"label\":\"{}\",\"sim_ops\":{},\"engine_steps\":{},\
+             \"engine_bursts\":{},\"engine_wheel_cascades\":{},\"wall_s\":{},\
+             \"steps_per_sec\":{}}}",
+            utps_sim::metrics::json_escape(&c.label),
+            c.sim_ops,
+            c.steps,
+            c.bursts,
+            c.cascades,
+            json_f64(c.wall_s),
+            json_f64(c.steps as f64 / c.wall_s),
+        ));
+    }
+    s.push_str("],");
+    s.push_str(&format!(
+        "\"totals\":{{\"wall_s\":{},\"sim_ops\":{sim_ops},\"engine_steps\":{steps},\
+         \"engine_bursts\":{},\"engine_wheel_cascades\":{},\
+         \"sim_ops_per_sec\":{},\"steps_per_sec\":{}}},",
+        json_f64(wall_s),
+        reg.counter("engine.bursts"),
+        reg.counter("engine.wheel_cascades"),
+        json_f64(ops_per_sec),
+        json_f64(steps_per_sec),
+    ));
+    match baseline {
+        Some(b) => {
+            s.push_str(&format!(
+                "\"baseline_steps_per_sec\":{},\"speedup_vs_baseline\":{}",
+                json_f64(b),
+                json_f64(steps_per_sec / b),
+            ));
+        }
+        None => s.push_str("\"baseline_steps_per_sec\":null,\"speedup_vs_baseline\":null"),
+    }
+    s.push('}');
+
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(dir).expect("create bench_results/");
+    }
+    std::fs::write(&out, &s).expect("write benchmark JSON");
+    println!(
+        "harness: {:.3}s wall, {} sim ops ({:.2}M/s), {} engine steps ({:.2}M/s), {} bursts, {} cascades",
+        wall_s,
+        sim_ops,
+        ops_per_sec / 1e6,
+        steps,
+        steps_per_sec / 1e6,
+        bursts,
+        cascades
+    );
+    if let Some(b) = baseline {
+        println!(
+            "speedup vs pre-refactor baseline: {:.2}x",
+            steps_per_sec / b
+        );
+    }
+    eprintln!("[utps-bench] wrote {out}");
+}

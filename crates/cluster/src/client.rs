@@ -20,7 +20,7 @@ use utps_core::msg::{NetMsg, Request};
 use utps_core::retry::{RetryConfig, RetryState};
 use utps_oracle::{fill_digest, value_digest, OpClass};
 use utps_sim::time::{SimTime, NANOS};
-use utps_sim::{Ctx, Process};
+use utps_sim::{Ctx, Process, StepOutcome};
 use utps_workload::{Op, Workload};
 
 use crate::world::{ClusterWorld, ShardWorld};
@@ -121,7 +121,7 @@ impl ClusterClientProc {
 }
 
 impl<S: ShardWorld> Process<ClusterWorld<S>> for ClusterClientProc {
-    fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut ClusterWorld<S>) {
+    fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut ClusterWorld<S>) -> StepOutcome {
         let now = ctx.now();
         self.workload.set_time_ns(now.as_nanos());
         let measure_start = world.driver.measure_start;
@@ -349,7 +349,9 @@ impl<S: ShardWorld> Process<ClusterWorld<S>> for ClusterClientProc {
                 };
                 ctx.advance_to(wake);
             }
+            return StepOutcome::Idle;
         }
+        StepOutcome::Progress
     }
 
     fn name(&self) -> &'static str {
@@ -375,7 +377,7 @@ impl ClusterSamplerProc {
 }
 
 impl<S: ShardWorld> Process<ClusterWorld<S>> for ClusterSamplerProc {
-    fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut ClusterWorld<S>) {
+    fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut ClusterWorld<S>) -> StepOutcome {
         let now = ctx.now();
         if now >= self.next {
             let total = world.driver.completed_total();
@@ -383,6 +385,7 @@ impl<S: ShardWorld> Process<ClusterWorld<S>> for ClusterSamplerProc {
             self.next = now + self.interval;
         }
         ctx.advance_to(self.next);
+        StepOutcome::Idle
     }
 
     fn name(&self) -> &'static str {

@@ -28,7 +28,7 @@
 
 use utps_sim::nic::Pipe;
 use utps_sim::time::SimTime;
-use utps_sim::{Ctx, Process};
+use utps_sim::{Ctx, Process, StepOutcome};
 use utps_workload::rng::SmallRng;
 
 use crate::config::{LinkConfig, MigrationSpec};
@@ -121,19 +121,19 @@ impl MigrationProc {
 }
 
 impl<S: ShardWorld> Process<ClusterWorld<S>> for MigrationProc {
-    fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut ClusterWorld<S>) {
+    fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut ClusterWorld<S>) -> StepOutcome {
         let now = ctx.now();
         let state = std::mem::replace(&mut self.state, MigState::Idle);
         self.state = match state {
             MigState::Idle => {
                 let Some(spec) = self.specs.get(self.next) else {
                     ctx.halt();
-                    return;
+                    return StepOutcome::Idle;
                 };
                 let at = SimTime(spec.at_ps);
                 if now < at {
                     ctx.advance_to(at);
-                    return;
+                    return StepOutcome::Idle;
                 }
                 let mut router = world.router.borrow_mut();
                 let from = router.slot_owner(spec.class, spec.slot);
@@ -142,7 +142,7 @@ impl<S: ShardWorld> Process<ClusterWorld<S>> for MigrationProc {
                     drop(router);
                     self.next += 1;
                     ctx.advance_to(now + POLL_PS);
-                    return;
+                    return StepOutcome::Progress;
                 }
                 router.freeze(spec.class, spec.slot);
                 let keys = router.keys_in_slot(spec.class, spec.slot);
@@ -173,7 +173,7 @@ impl<S: ShardWorld> Process<ClusterWorld<S>> for MigrationProc {
                         // without advancing `pos`.
                         ctx.advance_to(now + self.link.retry_ps);
                         self.state = MigState::Copying { from, keys, pos };
-                        return;
+                        return StepOutcome::Progress;
                     }
                     let dup = unit(&mut self.rng) < self.link.dup_prob;
                     let delayed = unit(&mut self.rng) < self.link.delay_prob;
@@ -213,6 +213,7 @@ impl<S: ShardWorld> Process<ClusterWorld<S>> for MigrationProc {
                 }
             }
         };
+        StepOutcome::Progress
     }
 
     fn name(&self) -> &'static str {
@@ -239,7 +240,7 @@ impl RefreshProc {
 }
 
 impl<S: ShardWorld> Process<ClusterWorld<S>> for RefreshProc {
-    fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut ClusterWorld<S>) {
+    fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut ClusterWorld<S>) -> StepOutcome {
         let now = ctx.now();
         let invalid = world.router.borrow().invalid_replicas();
         let mut last_arrival = now;
@@ -269,6 +270,7 @@ impl<S: ShardWorld> Process<ClusterWorld<S>> for RefreshProc {
             world.router.borrow_mut().revalidate(k);
         }
         ctx.advance_to(last_arrival.max(now + self.interval));
+        StepOutcome::Idle
     }
 
     fn name(&self) -> &'static str {

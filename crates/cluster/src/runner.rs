@@ -432,6 +432,9 @@ pub fn run_cluster_utps(cfg: &ClusterConfig) -> RunResult {
         oracle,
         schedule_trace,
         cluster,
+        engine_steps: eng.steps(),
+        engine_bursts: eng.bursts(),
+        engine_wheel_cascades: eng.wheel_cascades(),
     }
 }
 
@@ -544,5 +547,8 @@ pub fn run_cluster_basekv(cfg: &ClusterConfig) -> RunResult {
         oracle,
         schedule_trace,
         cluster,
+        engine_steps: eng.steps(),
+        engine_bursts: eng.bursts(),
+        engine_wheel_cascades: eng.wheel_cascades(),
     }
 }

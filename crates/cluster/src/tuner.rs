@@ -12,7 +12,7 @@
 
 use utps_core::server::{Reconfig, UtpsWorld};
 use utps_sim::time::SimTime;
-use utps_sim::{Ctx, Process};
+use utps_sim::{Ctx, Process, StepOutcome};
 
 use crate::world::ClusterWorld;
 
@@ -64,11 +64,11 @@ impl ClusterTunerProc {
 }
 
 impl Process<ClusterWorld<UtpsWorld>> for ClusterTunerProc {
-    fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut ClusterWorld<UtpsWorld>) {
+    fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut ClusterWorld<UtpsWorld>) -> StepOutcome {
         let now = ctx.now();
         if now < self.next {
             ctx.advance_to(self.next);
-            return;
+            return StepOutcome::Idle;
         }
         self.next = now + self.interval;
         let router = world.router.borrow();
@@ -93,7 +93,7 @@ impl Process<ClusterWorld<UtpsWorld>> for ClusterTunerProc {
         self.last_served.copy_from_slice(&served);
         let (Some((hot, dh)), Some((cold, dc))) = (hot, cold) else {
             ctx.advance_to(self.next);
-            return;
+            return StepOutcome::Idle;
         };
         if hot != cold && dh * IMBALANCE_DEN > dc * IMBALANCE_NUM + IMBALANCE_DEN {
             let grow = world.shards[hot].cfg.n_cr + 1;
@@ -106,6 +106,7 @@ impl Process<ClusterWorld<UtpsWorld>> for ClusterTunerProc {
             }
         }
         ctx.advance_to(self.next);
+        StepOutcome::Progress
     }
 
     fn name(&self) -> &'static str {

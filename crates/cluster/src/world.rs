@@ -12,7 +12,7 @@ use utps_core::client::{DriverState, KvWorld};
 use utps_core::retry::DedupTable;
 use utps_core::shardctl::ShardCtl;
 use utps_core::store::KvStore;
-use utps_sim::{Ctx, Process};
+use utps_sim::{Ctx, Process, StepOutcome};
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -103,8 +103,8 @@ impl<S> ShardProc<S> {
 }
 
 impl<S: 'static> Process<ClusterWorld<S>> for ShardProc<S> {
-    fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut ClusterWorld<S>) {
-        self.inner.step(ctx, &mut world.shards[self.shard]);
+    fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut ClusterWorld<S>) -> StepOutcome {
+        self.inner.step(ctx, &mut world.shards[self.shard])
     }
 
     fn name(&self) -> &'static str {

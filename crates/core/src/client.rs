@@ -12,7 +12,7 @@ use utps_collections::LatencyHistogram;
 use utps_oracle::{fill_digest, value_digest, History, OpClass};
 use utps_sim::nic::Fabric;
 use utps_sim::time::{SimTime, NANOS};
-use utps_sim::{Ctx, Process};
+use utps_sim::{Ctx, Process, StepOutcome};
 use utps_workload::{Op, Workload};
 
 use crate::msg::{NetMsg, Request};
@@ -152,7 +152,7 @@ impl ClientProc {
 }
 
 impl<W: KvWorld> Process<W> for ClientProc {
-    fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut W) {
+    fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut W) -> StepOutcome {
         let now = ctx.now();
         self.workload.set_time_ns(now.as_nanos());
         let measure_start = world.driver_mut().measure_start;
@@ -335,7 +335,9 @@ impl<W: KvWorld> Process<W> for ClientProc {
                 };
                 ctx.advance_to(wake);
             }
+            return StepOutcome::Idle;
         }
+        StepOutcome::Progress
     }
 
     fn name(&self) -> &'static str {
@@ -360,7 +362,7 @@ impl SamplerProc {
 }
 
 impl<W: KvWorld> Process<W> for SamplerProc {
-    fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut W) {
+    fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut W) -> StepOutcome {
         let now = ctx.now();
         if now >= self.next {
             let total = world.driver_mut().completed_total();
@@ -368,6 +370,7 @@ impl<W: KvWorld> Process<W> for SamplerProc {
             self.next = now + self.interval;
         }
         ctx.advance_to(self.next);
+        StepOutcome::Idle
     }
 
     fn name(&self) -> &'static str {
@@ -400,7 +403,7 @@ mod tests {
     struct EchoServer;
 
     impl Process<EchoWorld> for EchoServer {
-        fn step(&mut self, ctx: &mut Ctx<'_>, w: &mut EchoWorld) {
+        fn step(&mut self, ctx: &mut Ctx<'_>, w: &mut EchoWorld) -> StepOutcome {
             let now = ctx.now();
             if let Some(NetMsg::Req(req)) = w.fabric.server_poll(now) {
                 ctx.compute_ns(100);
@@ -422,7 +425,9 @@ mod tests {
                     req.client as usize,
                     NetMsg::Resp(resp),
                 );
+                return StepOutcome::Progress;
             }
+            StepOutcome::Idle
         }
     }
 

@@ -455,7 +455,7 @@ mod tests {
     use std::rc::Rc;
     use utps_sim::config::MachineConfig;
     use utps_sim::time::SimTime;
-    use utps_sim::{Engine, Process, StatClass};
+    use utps_sim::{Engine, Process, StatClass, StepOutcome};
 
     fn desc(key: u64, seq: u64) -> Desc {
         Desc {
@@ -475,11 +475,12 @@ mod tests {
             out: Rc<RefCell<Option<R>>>,
         }
         impl<F: FnOnce(&mut Ctx<'_>, &mut CrMrQueue) -> R, R> Process<CrMrQueue> for Once<F, R> {
-            fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut CrMrQueue) {
+            fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut CrMrQueue) -> StepOutcome {
                 if let Some(f) = self.f.take() {
                     *self.out.borrow_mut() = Some(f(ctx, world));
                 }
                 ctx.halt();
+                StepOutcome::Idle
             }
         }
         let out = Rc::new(RefCell::new(None));

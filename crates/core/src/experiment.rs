@@ -348,6 +348,15 @@ pub struct RunResult {
     pub schedule_trace: Vec<ScheduleEvent>,
     /// Cluster-level stats; `None` outside `utps-cluster` runs.
     pub cluster: Option<ClusterStats>,
+    /// Total engine steps executed over the whole run (warmup included).
+    /// Harness-throughput diagnostics only; excluded from [`stats_json`].
+    pub engine_steps: u64,
+    /// Steps executed on the engine's burst fast path (no scheduler
+    /// round-trip); excluded from [`stats_json`].
+    pub engine_bursts: u64,
+    /// Timer-wheel cascade operations performed by the scheduler; excluded
+    /// from [`stats_json`].
+    pub engine_wheel_cascades: u64,
 }
 
 /// Runs μTPS under `cfg` and returns its measurements.
@@ -533,6 +542,9 @@ pub fn extract_result(cfg: &RunConfig, eng: &mut Engine<UtpsWorld>) -> RunResult
         oracle,
         schedule_trace,
         cluster: None,
+        engine_steps: eng.steps(),
+        engine_bursts: eng.bursts(),
+        engine_wheel_cascades: eng.wheel_cascades(),
     }
 }
 

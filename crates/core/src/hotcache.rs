@@ -163,7 +163,7 @@ mod tests {
     use std::rc::Rc;
     use utps_sim::config::MachineConfig;
     use utps_sim::time::SimTime;
-    use utps_sim::{Engine, Process, StatClass};
+    use utps_sim::{Engine, Process, StatClass, StepOutcome};
 
     fn with_cache<R: 'static>(
         cache: HotCache,
@@ -174,11 +174,12 @@ mod tests {
             out: Rc<RefCell<Option<R>>>,
         }
         impl<F: FnOnce(&mut Ctx<'_>, &mut HotCache) -> R, R> Process<HotCache> for Once<F, R> {
-            fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut HotCache) {
+            fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut HotCache) -> StepOutcome {
                 if let Some(f) = self.f.take() {
                     *self.out.borrow_mut() = Some(f(ctx, world));
                 }
                 ctx.halt();
+                StepOutcome::Idle
             }
         }
         let out = Rc::new(RefCell::new(None));

@@ -338,7 +338,7 @@ mod tests {
     use std::cell::RefCell;
     use std::rc::Rc;
     use utps_sim::config::MachineConfig;
-    use utps_sim::{Engine, Process, StatClass};
+    use utps_sim::{Engine, Process, StatClass, StepOutcome};
     use utps_workload::Op;
 
     fn req(client: u32, seq: u64, key: u64) -> Request {
@@ -379,11 +379,12 @@ mod tests {
             out: Rc<RefCell<Option<R>>>,
         }
         impl<F: FnOnce(&mut Ctx<'_>, &mut World) -> R, R> Process<World> for Once<F, R> {
-            fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut World) {
+            fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut World) -> StepOutcome {
                 if let Some(f) = self.f.take() {
                     *self.out.borrow_mut() = Some(f(ctx, world));
                 }
                 ctx.halt();
+                StepOutcome::Idle
             }
         }
         let out = Rc::new(RefCell::new(None));

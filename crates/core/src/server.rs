@@ -1154,7 +1154,7 @@ impl UtpsWorker {
 }
 
 impl Process<UtpsWorld> for UtpsWorker {
-    fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut UtpsWorld) {
+    fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut UtpsWorld) -> StepOutcome {
         let outcome = match &mut self.role {
             Role::Cr(s) => s.step(ctx, world),
             Role::Mr(s) => s.step(ctx, world),
@@ -1169,6 +1169,9 @@ impl Process<UtpsWorld> for UtpsWorker {
                 ),
             };
         }
+        // Surface the handoff so the engine ends any burst: the next step
+        // runs the other role and should re-enter through the scheduler.
+        outcome
     }
 
     fn name(&self) -> &'static str {

@@ -9,8 +9,9 @@
 //!   progress, found nothing to do, or wants to hand its core to a successor
 //!   stage (μTPS's §3.5 thread reassignment).
 //! * [`StageProc`] — the adapter driving a single stage as a sim
-//!   [`Process`]. The outcome is informational; all costs are charged
-//!   through [`Ctx`], so wrapping a stage never perturbs the simulation.
+//!   [`Process`]. The outcome steers only the engine's burst fast path; all
+//!   costs are charged through [`Ctx`], so wrapping a stage never perturbs
+//!   the simulation.
 //! * [`PipelineRuntime`] — owns the engine and the per-run plumbing every
 //!   system repeats: fault-plan installation, stage/client spawning, and the
 //!   warmup → counter-reset → measure protocol.
@@ -30,19 +31,12 @@ use utps_sim::{Ctx, Engine, FaultPlan, Machine, Process, SchedulePlan, StatClass
 use crate::client::{ClientProc, KvWorld, SamplerProc};
 use crate::experiment::RunConfig;
 
-/// What one [`Stage::step`] accomplished. Purely informational: the adapter
-/// never charges time or counts events based on it (that is [`Ctx`]'s job),
-/// so two stages differing only in reported outcomes are byte-identical.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum StepOutcome {
-    /// The stage did useful work this slot.
-    Progress,
-    /// Nothing to do; the engine's idle-step accounting applies as usual.
-    Idle,
-    /// The stage is done on this core and a successor stage should take
-    /// over (e.g. a CR worker departing to the MR layer).
-    Handoff,
-}
+// `StepOutcome` moved down into the engine when `Process::step` started
+// returning it (the burst fast path keys off it); re-exported here so every
+// historical `utps_core::stage::StepOutcome` path keeps working. The
+// charging contract is unchanged: an outcome never influences simulated
+// time or event order, only how the engine hosts the next step.
+pub use utps_sim::StepOutcome;
 
 /// A non-preemptive stage of request processing, mirroring the paper's
 /// hit-path/miss-path state machine: each `step` call runs to the stage's
@@ -60,9 +54,10 @@ pub trait Stage<W> {
     }
 }
 
-/// Adapter: drives one [`Stage`] as an engine [`Process`], ignoring the
-/// outcome (single-stage workers never hand off; compositions like
-/// `UtpsWorker` handle [`StepOutcome::Handoff`] themselves).
+/// Adapter: drives one [`Stage`] as an engine [`Process`], surfacing the
+/// stage's outcome to the engine's burst fast path (single-stage workers
+/// never hand off; compositions like `UtpsWorker` handle
+/// [`StepOutcome::Handoff`] themselves).
 pub struct StageProc<S> {
     stage: S,
 }
@@ -75,8 +70,8 @@ impl<S> StageProc<S> {
 }
 
 impl<W, S: Stage<W>> Process<W> for StageProc<S> {
-    fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut W) {
-        let _ = self.stage.step(ctx, world);
+    fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut W) -> StepOutcome {
+        self.stage.step(ctx, world)
     }
 
     fn name(&self) -> &'static str {

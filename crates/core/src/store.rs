@@ -410,7 +410,7 @@ mod tests {
     use std::cell::RefCell;
     use std::rc::Rc;
     use utps_sim::time::SimTime;
-    use utps_sim::{Engine, MachineConfig, Process, StatClass};
+    use utps_sim::{Engine, MachineConfig, Process, StatClass, StepOutcome};
 
     const BUFS: OpBuffers = OpBuffers {
         recv_addr: 0x10_0000,
@@ -426,11 +426,12 @@ mod tests {
             out: Rc<RefCell<Option<R>>>,
         }
         impl<F: FnOnce(&mut Ctx<'_>, &mut KvStore) -> R, R> Process<KvStore> for Once<F, R> {
-            fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut KvStore) {
+            fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut KvStore) -> StepOutcome {
                 if let Some(f) = self.f.take() {
                     *self.out.borrow_mut() = Some(f(ctx, world));
                 }
                 ctx.halt();
+                StepOutcome::Idle
             }
         }
         let out = Rc::new(RefCell::new(None));

@@ -20,7 +20,7 @@ use std::collections::BTreeMap;
 
 use utps_collections::HotSetTracker;
 use utps_sim::time::SimTime;
-use utps_sim::{Ctx, Process};
+use utps_sim::{Ctx, Process, StepOutcome};
 
 use crate::server::{Reconfig, UtpsWorld};
 
@@ -657,7 +657,7 @@ impl ManagerProc {
 }
 
 impl Process<UtpsWorld> for ManagerProc {
-    fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut UtpsWorld) {
+    fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut UtpsWorld) -> StepOutcome {
         let now = ctx.now();
         // 1. Drain worker samples into the tracker.
         let mut drained = 0;
@@ -713,6 +713,11 @@ impl Process<UtpsWorld> for ManagerProc {
             .min(now + 200 * utps_sim::time::MICROS)
             .max(now + 5 * utps_sim::time::MICROS);
         ctx.advance_to(wake);
+        if drained > 0 {
+            StepOutcome::Progress
+        } else {
+            StepOutcome::Idle
+        }
     }
 
     fn name(&self) -> &'static str {

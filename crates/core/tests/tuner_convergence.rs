@@ -17,7 +17,7 @@ use utps_core::tuner::{trisect_probe_budget, ProbePhase, Tuner, TunerMode, Tuner
 use utps_index::IndexKind;
 use utps_sim::config::MachineConfig;
 use utps_sim::time::{SimTime, MICROS};
-use utps_sim::{Ctx, Engine, Process, StatClass};
+use utps_sim::{Ctx, Engine, Process, StatClass, StepOutcome};
 
 const WORKERS: usize = 6;
 const PEAK_N_CR: usize = 3;
@@ -68,7 +68,7 @@ struct SyntheticDriver {
 }
 
 impl Process<UtpsWorld> for SyntheticDriver {
-    fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut UtpsWorld) {
+    fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut UtpsWorld) -> StepOutcome {
         let now = ctx.now();
         // Reassignments complete instantly: every worker adopts at once.
         while world.reconfig.is_some() {
@@ -89,9 +89,10 @@ impl Process<UtpsWorld> for SyntheticDriver {
         self.tuner.step(ctx, world);
         if self.kicked && !self.tuner.searching() {
             ctx.halt();
-            return;
+            return StepOutcome::Idle;
         }
         ctx.advance_to(now + 25 * MICROS);
+        StepOutcome::Progress
     }
 
     fn name(&self) -> &'static str {

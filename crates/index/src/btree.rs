@@ -844,7 +844,7 @@ mod tests {
     use std::cell::RefCell;
     use std::rc::Rc;
     use utps_sim::time::SimTime;
-    use utps_sim::{Engine, MachineConfig, Process, StatClass};
+    use utps_sim::{Engine, MachineConfig, Process, StatClass, StepOutcome};
 
     fn with_tree<R: 'static>(
         tree: BplusTree,
@@ -855,11 +855,12 @@ mod tests {
             out: Rc<RefCell<Option<R>>>,
         }
         impl<F: FnOnce(&mut Ctx<'_>, &mut BplusTree) -> R, R> Process<BplusTree> for Once<F, R> {
-            fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut BplusTree) {
+            fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut BplusTree) -> StepOutcome {
                 if let Some(f) = self.f.take() {
                     *self.out.borrow_mut() = Some(f(ctx, world));
                 }
                 ctx.halt();
+                StepOutcome::Idle
             }
         }
         let out = Rc::new(RefCell::new(None));

@@ -494,7 +494,7 @@ mod tests {
     use std::cell::RefCell;
     use std::rc::Rc;
     use utps_sim::time::SimTime;
-    use utps_sim::{Engine, MachineConfig, Process, StatClass};
+    use utps_sim::{Engine, MachineConfig, Process, StatClass, StepOutcome};
 
     fn with_map<R: 'static>(
         map: CuckooMap,
@@ -505,11 +505,12 @@ mod tests {
             out: Rc<RefCell<Option<R>>>,
         }
         impl<F: FnOnce(&mut Ctx<'_>, &mut CuckooMap) -> R, R> Process<CuckooMap> for Once<F, R> {
-            fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut CuckooMap) {
+            fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut CuckooMap) -> StepOutcome {
                 if let Some(f) = self.f.take() {
                     *self.out.borrow_mut() = Some(f(ctx, world));
                 }
                 ctx.halt();
+                StepOutcome::Idle
             }
         }
         let out = Rc::new(RefCell::new(None));

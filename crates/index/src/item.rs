@@ -248,7 +248,7 @@ impl Default for ItemStore {
 mod tests {
     use super::*;
     use utps_sim::time::SimTime;
-    use utps_sim::{Engine, MachineConfig, Process, StatClass};
+    use utps_sim::{Engine, MachineConfig, Process, StatClass, StepOutcome};
 
     /// Runs `f` once inside a one-step simulated process.
     fn with_ctx<R: 'static>(f: impl FnOnce(&mut Ctx<'_>, &mut ItemStore) -> R + 'static) -> R {
@@ -257,12 +257,13 @@ mod tests {
             out: std::rc::Rc<std::cell::RefCell<Option<R>>>,
         }
         impl<F: FnOnce(&mut Ctx<'_>, &mut ItemStore) -> R, R> Process<ItemStore> for Once<F, R> {
-            fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut ItemStore) {
+            fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut ItemStore) -> StepOutcome {
                 if let Some(f) = self.f.take() {
                     let r = f(ctx, world);
                     *self.out.borrow_mut() = Some(r);
                 }
                 ctx.halt();
+                StepOutcome::Idle
             }
         }
         let out = std::rc::Rc::new(std::cell::RefCell::new(None));

@@ -226,7 +226,7 @@ mod tests {
     use std::cell::RefCell;
     use std::rc::Rc;
     use utps_sim::time::SimTime;
-    use utps_sim::{Engine, MachineConfig, Process, StatClass};
+    use utps_sim::{Engine, MachineConfig, Process, StatClass, StepOutcome};
 
     fn with_index<R: 'static>(
         index: Index,
@@ -237,11 +237,12 @@ mod tests {
             out: Rc<RefCell<Option<R>>>,
         }
         impl<F: FnOnce(&mut Ctx<'_>, &mut Index) -> R, R> Process<Index> for Once<F, R> {
-            fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut Index) {
+            fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut Index) -> StepOutcome {
                 if let Some(f) = self.f.take() {
                     *self.out.borrow_mut() = Some(f(ctx, world));
                 }
                 ctx.halt();
+                StepOutcome::Idle
             }
         }
         let out = Rc::new(RefCell::new(None));

@@ -8,7 +8,7 @@ use std::collections::BTreeMap;
 use std::rc::Rc;
 use utps_index::{Index, IndexGet, IndexInsert, IndexKind, IndexRemove, IndexScan, Step};
 use utps_sim::time::SimTime;
-use utps_sim::{Ctx, Engine, MachineConfig, Process, StatClass};
+use utps_sim::{Ctx, Engine, MachineConfig, Process, StatClass, StepOutcome};
 
 /// One generated operation.
 #[derive(Clone, Debug)]
@@ -34,11 +34,12 @@ fn with_index(index: Index, f: impl FnOnce(&mut Ctx<'_>, &mut Index) + 'static) 
         f: Option<F>,
     }
     impl<F: FnOnce(&mut Ctx<'_>, &mut Index)> Process<Index> for Once<F> {
-        fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut Index) {
+        fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut Index) -> StepOutcome {
             if let Some(f) = self.f.take() {
                 f(ctx, world);
             }
             ctx.halt();
+            StepOutcome::Idle
         }
     }
     let mut eng = Engine::new(MachineConfig::tiny(), 1, index);

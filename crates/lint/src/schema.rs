@@ -43,6 +43,12 @@ pub const METRIC_SCHEMA: &[&str] = &[
     "crmr.lease_reclaim",
     "crmr.pushed",
     "crmr.shared_hwm",
+    // Engine scheduler internals (PR 8): burst fast-path steps and
+    // timer-wheel cascade operations. Maintained by the engine itself and
+    // surfaced through `RunResult`/`utps-bench`; never folded into
+    // `stats_json` snapshots so the run goldens stay byte-identical.
+    "engine.bursts",
+    "engine.wheel_cascades",
     // Fault-injection events.
     "fault.rx_delay",
     "fault.rx_drop",

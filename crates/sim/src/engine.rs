@@ -12,16 +12,45 @@
 //! spin quantum. A step that charges nothing is treated as one iteration of a
 //! polling loop and charged `poll_quantum`, so busy-polling cores consume
 //! simulated time just like pinned threads consume real cycles.
-
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+//!
+//! # Scheduler and the burst fast path
+//!
+//! The ready queue is a hierarchical [`TimerWheel`] whose pop order is
+//! bit-identical to the `BinaryHeap<Reverse<(SimTime, ProcId)>>` it replaced:
+//! ascending `(time, pid)`, pid breaking ties. On top of it sits *burst
+//! stepping*: after a step, if the process's advanced clock is still strictly
+//! ahead of every other key (in the same `(time, pid)` order the scheduler
+//! would use) and the step did not report [`StepOutcome::Handoff`], the
+//! engine re-steps it immediately instead of pushing and re-popping. Each
+//! burst iteration is a *logical pop*: the schedule-exploration and
+//! fault-stall gates run (and count decisions) exactly as on the slow path,
+//! so perturbed and replayed runs stay byte-identical. See DESIGN.md §10.
 
 use crate::cache::{CacheHierarchy, StatClass};
 use crate::config::MachineConfig;
 use crate::time::SimTime;
+use crate::wheel::TimerWheel;
 
 /// Identifier of a simulated process.
 pub type ProcId = usize;
+
+/// What one [`Process::step`] accomplished.
+///
+/// The outcome never influences simulated time or event order — all costs
+/// are charged through [`Ctx`], and the burst fast path only engages when
+/// the ordering is provably unchanged — it only steers how the engine
+/// *hosts* the next step (fast-path re-step vs. scheduler round-trip).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The step did useful work.
+    Progress,
+    /// Nothing to do; the engine's idle-step accounting applies as usual.
+    Idle,
+    /// The process wants its core handed to a successor stage (μTPS's §3.5
+    /// thread reassignment); the engine ends any burst so the handoff
+    /// re-enters the scheduler.
+    Handoff,
+}
 
 /// A simulated thread.
 ///
@@ -31,7 +60,7 @@ pub type ProcId = usize;
 /// cross-process interleaving fine-grained.
 pub trait Process<W> {
     /// Executes one slice of work against the shared `world`.
-    fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut W);
+    fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut W) -> StepOutcome;
 
     /// Human-readable name for traces.
     fn name(&self) -> &'static str {
@@ -236,7 +265,15 @@ struct ProcEntry<W> {
     machine: usize,
     core: Option<usize>,
     class: StatClass,
+    /// Cleared on halt; dead entries stay in the slab (pids are stable and
+    /// never reused) but own no scheduler key and are never stepped again.
+    live: bool,
 }
+
+/// Upper bound on consecutive fast-path re-steps of one process before it is
+/// pushed back through the scheduler (bounds how long the engine runs
+/// without touching the wheel; see DESIGN.md §10).
+const BURST_BUDGET: u32 = 64;
 
 /// The simulation engine over a world `W`.
 ///
@@ -249,10 +286,23 @@ pub struct Engine<W> {
     /// Shared world state all processes operate on.
     pub world: W,
     machines: Vec<Machine>,
-    procs: Vec<Option<ProcEntry<W>>>,
-    heap: BinaryHeap<Reverse<(SimTime, ProcId)>>,
+    /// Flat slab indexed by [`ProcId`]; the scheduler holds only
+    /// `(SimTime, ProcId)` keys, one per live process, so a pop never moves
+    /// the process entry itself.
+    procs: Vec<ProcEntry<W>>,
+    wheel: TimerWheel,
     now: SimTime,
     steps: u64,
+    bursts: u64,
+    live: usize,
+    /// Recycled buffer for [`TimerWheel::pop_ties`] tie-cohorts; holding it
+    /// on the engine keeps its capacity across `run_until` calls.
+    cohort: Vec<ProcId>,
+    /// Keys deferred past the live cohort at one shared time (the lockstep
+    /// fast path); becomes the next cohort by swap when its time is next.
+    pending: Vec<ProcId>,
+    /// Scratch for merging wheel ties with `pending` at the same time.
+    tie_buf: Vec<ProcId>,
 }
 
 impl<W> Engine<W> {
@@ -262,9 +312,14 @@ impl<W> Engine<W> {
             world,
             machines: vec![Machine::new(cfg, cores)],
             procs: Vec::new(),
-            heap: BinaryHeap::new(),
+            wheel: TimerWheel::new(),
             now: SimTime::ZERO,
             steps: 0,
+            bursts: 0,
+            live: 0,
+            cohort: Vec::new(),
+            pending: Vec::new(),
+            tie_buf: Vec::new(),
         }
     }
 
@@ -297,14 +352,16 @@ impl<W> Engine<W> {
     ) -> ProcId {
         assert!(machine < self.machines.len(), "no machine {machine}");
         let pid = self.procs.len();
-        self.procs.push(Some(ProcEntry {
+        self.procs.push(ProcEntry {
             proc,
             clock: self.now,
             machine,
             core,
             class,
-        }));
-        self.heap.push(Reverse((self.now, pid)));
+            live: true,
+        });
+        self.live += 1;
+        self.wheel.push(self.now, pid);
         pid
     }
 
@@ -316,6 +373,16 @@ impl<W> Engine<W> {
     /// Total steps executed (for diagnostics).
     pub fn steps(&self) -> u64 {
         self.steps
+    }
+
+    /// Steps executed on the burst fast path (no scheduler round-trip).
+    pub fn bursts(&self) -> u64 {
+        self.bursts
+    }
+
+    /// Scheduler timer-wheel cascade operations performed so far.
+    pub fn wheel_cascades(&self) -> u64 {
+        self.wheel.cascades()
     }
 
     /// Machine 0 (for CLOS changes, metrics snapshots).
@@ -347,78 +414,212 @@ impl<W> Engine<W> {
     /// remains). Returns the number of steps executed.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         let start_steps = self.steps;
-        while let Some(&Reverse((t, pid))) = self.heap.peek() {
-            if t >= deadline {
-                break;
-            }
-            self.heap.pop();
-            let mut entry = match self.procs[pid].take() {
-                Some(e) => e,
-                None => continue,
-            };
-            debug_assert_eq!(entry.clock, t);
-            let mid = entry.machine;
-            // Schedule exploration: at seed-chosen decisions, stall the
-            // popped process so whichever process is next in clock order
-            // runs first. Counted per pop, so every run — perturbed or
-            // replayed — sees the same decision indexing.
-            if self.machines[mid].schedule.armed() {
-                if let Some(stall_ps) = self.machines[mid].schedule.on_pop(pid) {
-                    self.machines[mid].registry.counter_inc("schedule.stall");
-                    let end = t + stall_ps;
-                    entry.clock = end;
-                    self.heap.push(Reverse((end, pid)));
-                    self.procs[pid] = Some(entry);
-                    continue;
+        // The scheduler drains whole *tie-cohorts*: all keys at the minimum
+        // time, processed in ascending pid order — exactly the order the
+        // old heap popped them one by one. No gate or step can reschedule a
+        // process back to the cohort's time (schedule stalls are ≥ 1 ps,
+        // fault stalls end strictly later, an unmoved step clock is bumped
+        // by the poll quantum), so the cohort is closed once formed.
+        //
+        // Cohorts come from two places. The slow path drains the wheel
+        // (`pop_ties`, one slot scan per cohort). The fast path never
+        // touches the wheel: members whose step ends at one shared future
+        // time — a polling fleet advancing in lockstep — are appended to
+        // `pending`, which becomes the next cohort by buffer swap when its
+        // time is next globally. Keys that break the pattern (different
+        // time, out-of-order pid, stall deferrals) fall back to the wheel,
+        // and a cohort whose time is held by both sides merges the two
+        // ascending pid runs. Either way every cohort is the complete
+        // sorted set of minimum-time keys, so the step and decision
+        // sequence stays byte-identical to the heap scheduler's.
+        let mut cohort = std::mem::take(&mut self.cohort);
+        let mut pending = std::mem::take(&mut self.pending);
+        let mut tie_buf = std::mem::take(&mut self.tie_buf);
+        let mut cohort_pos = 0usize;
+        let mut cohort_t = SimTime::ZERO;
+        // Time shared by every key in `pending`; meaningful only while
+        // `pending` is nonempty.
+        let mut pending_t = SimTime::ZERO;
+        // Per-machine gate flags, hoisted out of the hot loop: plans are
+        // installed by runners between `run_until` calls, never mid-run.
+        let gates: Vec<(bool, bool, u64)> = self
+            .machines
+            .iter()
+            .map(|m| {
+                (
+                    m.schedule.armed(),
+                    m.faults.has_stalls(),
+                    m.cfg.cost.poll_quantum,
+                )
+            })
+            .collect();
+        'sched: loop {
+            if cohort_pos >= cohort.len() {
+                cohort.clear();
+                cohort_pos = 0;
+                let wheel_next = self.wheel.peek();
+                let next_t = match (wheel_next, pending.is_empty()) {
+                    (Some((wt, _)), false) => wt.min(pending_t),
+                    (Some((wt, _)), true) => wt,
+                    (None, false) => pending_t,
+                    (None, true) => break,
+                };
+                if next_t >= deadline {
+                    break;
+                }
+                cohort_t = next_t;
+                if !pending.is_empty() && pending_t == next_t {
+                    if wheel_next.is_some_and(|(wt, _)| wt == next_t) {
+                        // Both sides hold keys at `next_t`: merge the two
+                        // ascending pid runs.
+                        self.wheel.pop_ties(&mut tie_buf);
+                        let (mut i, mut j) = (0, 0);
+                        while i < pending.len() && j < tie_buf.len() {
+                            if pending[i] < tie_buf[j] {
+                                cohort.push(pending[i]);
+                                i += 1;
+                            } else {
+                                cohort.push(tie_buf[j]);
+                                j += 1;
+                            }
+                        }
+                        cohort.extend_from_slice(&pending[i..]);
+                        cohort.extend_from_slice(&tie_buf[j..]);
+                        pending.clear();
+                    } else {
+                        // The whole minimum cohort is the pending buffer.
+                        std::mem::swap(&mut cohort, &mut pending);
+                        pending.clear();
+                    }
+                } else {
+                    self.wheel.pop_ties(&mut cohort);
                 }
             }
-            // A core inside a stall window executes nothing: defer its next
-            // step to the window end. Guarded so fault-free runs never pay
-            // for the check beyond one branch.
-            if self.machines[mid].faults.has_stalls() {
-                if let Some(core) = entry.core {
-                    if let Some(end) = self.machines[mid].faults.stall_until(core, t) {
-                        self.machines[mid].faults.note_stall_defer();
-                        self.machines[mid].registry.counter_inc("fault.stall_defer");
+            let pid = cohort[cohort_pos];
+            cohort_pos += 1;
+            let mut t = cohort_t;
+            let mut budget = BURST_BUDGET;
+            // One iteration of this inner loop is one *logical pop* of
+            // `pid`: the first comes from the cohort, later ones from the
+            // burst fast path. Every iteration runs the same gates in the
+            // same order, so the step/decision sequence is byte-identical
+            // to a scheduler that pushed and re-popped each time.
+            loop {
+                let entry = &mut self.procs[pid];
+                debug_assert!(entry.live);
+                debug_assert_eq!(entry.clock, t);
+                let mid = entry.machine;
+                let (armed, has_stalls, poll_quantum) = gates[mid];
+                // Schedule exploration: at seed-chosen decisions, stall the
+                // popped process so whichever process is next in clock order
+                // runs first. Counted per logical pop, so every run —
+                // perturbed, replayed, or burst-stepped — sees the same
+                // decision indexing.
+                if armed {
+                    if let Some(stall_ps) = self.machines[mid].schedule.on_pop(pid) {
+                        self.machines[mid].registry.counter_inc("schedule.stall");
+                        let end = t + stall_ps;
                         entry.clock = end;
-                        self.heap.push(Reverse((end, pid)));
-                        self.procs[pid] = Some(entry);
+                        self.wheel.push(end, pid);
+                        continue 'sched;
+                    }
+                }
+                // A core inside a stall window executes nothing: defer its
+                // next step to the window end. Guarded so fault-free runs
+                // never pay for the check beyond one branch.
+                if has_stalls {
+                    if let Some(core) = entry.core {
+                        if let Some(end) = self.machines[mid].faults.stall_until(core, t) {
+                            self.machines[mid].faults.note_stall_defer();
+                            self.machines[mid].registry.counter_inc("fault.stall_defer");
+                            entry.clock = end;
+                            self.wheel.push(end, pid);
+                            continue 'sched;
+                        }
+                    }
+                }
+                let mut ctx = Ctx {
+                    machines: &mut self.machines,
+                    mid,
+                    pid,
+                    core: entry.core,
+                    class: entry.class,
+                    clock: t,
+                    start: t,
+                    halted: false,
+                };
+                let outcome = entry.proc.step(&mut ctx, &mut self.world);
+                let mut new_clock = ctx.clock;
+                let halted = ctx.halted;
+                entry.class = ctx.class;
+                if new_clock == t {
+                    // Idle polling iteration.
+                    new_clock += poll_quantum;
+                }
+                entry.clock = new_clock;
+                self.now = t;
+                self.steps += 1;
+                if halted {
+                    entry.live = false;
+                    self.live -= 1;
+                    continue 'sched;
+                }
+                // Burst fast path: re-step immediately if the advanced
+                // clock still precedes every scheduled key in the exact
+                // `(time, pid)` order the scheduler uses — then a push/pop
+                // round-trip would pop this process right back, so skipping
+                // it cannot change the step sequence. A `Handoff` ends the
+                // burst so successor stages re-enter through the scheduler.
+                // Pending cohort members (strictly earlier time) and the
+                // pending buffer's front key both forbid bursting.
+                if outcome != StepOutcome::Handoff && budget > 0 && new_clock < deadline {
+                    let ahead = cohort_pos >= cohort.len()
+                        && (pending.is_empty() || (new_clock, pid) < (pending_t, pending[0]))
+                        && match self.wheel.peek() {
+                            Some(next) => (new_clock, pid) < next,
+                            None => true,
+                        };
+                    if ahead {
+                        budget -= 1;
+                        self.bursts += 1;
+                        t = new_clock;
                         continue;
                     }
                 }
-            }
-            let mut ctx = Ctx {
-                machines: &mut self.machines,
-                mid,
-                pid,
-                core: entry.core,
-                class: entry.class,
-                clock: t,
-                start: t,
-                halted: false,
-            };
-            entry.proc.step(&mut ctx, &mut self.world);
-            let mut new_clock = ctx.clock;
-            let halted = ctx.halted;
-            entry.class = ctx.class;
-            if new_clock == t {
-                // Idle polling iteration.
-                new_clock += self.machines[mid].cfg.cost.poll_quantum;
-            }
-            entry.clock = new_clock;
-            self.now = t;
-            self.steps += 1;
-            if !halted {
-                self.heap.push(Reverse((new_clock, pid)));
-                self.procs[pid] = Some(entry);
+                // Re-schedule: join the pending cohort when the key extends
+                // its ascending pid run at the shared time, else the wheel.
+                if pending.is_empty() {
+                    pending_t = new_clock;
+                    pending.push(pid);
+                } else if new_clock == pending_t && *pending.last().expect("nonempty") < pid {
+                    pending.push(pid);
+                } else if new_clock < pending_t {
+                    // A strictly earlier key: the current pending run is no
+                    // longer the next-time candidate, park it in the wheel.
+                    for &p in &pending {
+                        self.wheel.push(pending_t, p);
+                    }
+                    pending.clear();
+                    pending_t = new_clock;
+                    pending.push(pid);
+                } else {
+                    self.wheel.push(new_clock, pid);
+                }
+                continue 'sched;
             }
         }
-        self.now = deadline.min(
-            self.heap
-                .peek()
-                .map(|&Reverse((t, _))| t)
-                .unwrap_or(deadline),
-        );
+        // Park deferred keys in the wheel so the engine's schedule state is
+        // self-contained between calls; all buffers go back empty (the
+        // cohort is always fully consumed before the loop exits).
+        for &p in &pending {
+            self.wheel.push(pending_t, p);
+        }
+        pending.clear();
+        cohort.clear();
+        self.cohort = cohort;
+        self.pending = pending;
+        self.tie_buf = tie_buf;
+        self.now = deadline.min(self.wheel.peek().map(|(t, _)| t).unwrap_or(deadline));
         self.steps - start_steps
     }
 
@@ -427,9 +628,9 @@ impl<W> Engine<W> {
         self.run_until(self.now + d)
     }
 
-    /// Number of live processes.
+    /// Number of live processes (maintained counter; O(1)).
     pub fn live_procs(&self) -> usize {
-        self.procs.iter().filter(|p| p.is_some()).count()
+        self.live
     }
 }
 
@@ -445,7 +646,7 @@ mod tests {
     }
 
     impl Process<()> for Ticker {
-        fn step(&mut self, ctx: &mut Ctx<'_>, _world: &mut ()) {
+        fn step(&mut self, ctx: &mut Ctx<'_>, _world: &mut ()) -> StepOutcome {
             // SAFETY: the test keeps the Vec alive for the whole run and the
             // engine is single-threaded.
             unsafe { (*self.fired).push((ctx.now(), self.id)) };
@@ -454,6 +655,7 @@ mod tests {
             if self.remaining == 0 {
                 ctx.halt();
             }
+            StepOutcome::Progress
         }
     }
 
@@ -494,8 +696,9 @@ mod tests {
     struct Idle;
 
     impl Process<u64> for Idle {
-        fn step(&mut self, _ctx: &mut Ctx<'_>, world: &mut u64) {
+        fn step(&mut self, _ctx: &mut Ctx<'_>, world: &mut u64) -> StepOutcome {
             *world += 1;
+            StepOutcome::Idle
         }
     }
 
@@ -513,9 +716,10 @@ mod tests {
     }
 
     impl Process<Vec<u64>> for Reader {
-        fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut Vec<u64>) {
+        fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut Vec<u64>) -> StepOutcome {
             ctx.read(self.addr, 8);
             world.push(ctx.now().as_ps());
+            StepOutcome::Progress
         }
     }
 
@@ -529,6 +733,44 @@ mod tests {
         // First step: DRAM miss; subsequent: L1 hits.
         assert_eq!(eng.world[0], dram);
         assert_eq!(eng.world[1], dram + l1);
+    }
+
+    #[test]
+    fn lone_process_rides_the_burst_fast_path() {
+        let mut eng = Engine::new(MachineConfig::tiny(), 1, 0u64);
+        eng.spawn(Some(0), StatClass::Other, Box::new(Idle));
+        let quantum = eng.machine_ref().cfg.cost.poll_quantum;
+        eng.run_until(SimTime(quantum * 100));
+        // Identical step count to the slow path, almost all of it burst.
+        assert_eq!(eng.world, 100);
+        assert!(eng.bursts() > 90, "only {} bursts", eng.bursts());
+    }
+
+    #[test]
+    fn simultaneous_processes_step_in_pid_order() {
+        let mut fired: Vec<(SimTime, usize)> = Vec::new();
+        let mut eng = Engine::new(MachineConfig::tiny(), 1, ());
+        let p = &mut fired as *mut _;
+        for id in 0..3 {
+            eng.spawn(
+                None,
+                StatClass::Other,
+                Box::new(Ticker {
+                    period_ns: 20,
+                    fired: p,
+                    id,
+                    remaining: 4,
+                }),
+            );
+        }
+        eng.run_until(SimTime::from_micros(1));
+        // All three share every wakeup time; the (time, pid) tie-break must
+        // order them by pid within each instant, burst path or not.
+        for (i, &(t, id)) in fired.iter().enumerate() {
+            assert_eq!(t, SimTime::from_nanos(20 * (i as u64 / 3)));
+            assert_eq!(id, i % 3);
+        }
+        assert_eq!(fired.len(), 12);
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod nic;
 pub mod schedule;
 pub mod time;
 pub mod vaddr;
+pub mod wheel;
 
 pub use arena::{Arena, PayloadArena, PayloadRef};
 // Kept at its historical `utps_sim::hashutil` path; the module itself now
@@ -45,7 +46,7 @@ pub use arena::{Arena, PayloadArena, PayloadRef};
 // hashers too (R2: no default-hasher maps in the deterministic zone).
 pub use cache::{CacheHierarchy, StatClass};
 pub use config::{CacheConfig, CostConfig, MachineConfig, NetConfig};
-pub use engine::{Ctx, Engine, Machine, ProcId, Process};
+pub use engine::{Ctx, Engine, Machine, ProcId, Process, StepOutcome};
 pub use fault::{FaultConfig, FaultPlan, RecvFate, StallWindow};
 pub use lock::{OptLock, SimLock, VersionSeqLock};
 pub use metrics::{AccessKind, Metrics, MetricsRegistry, MetricsSnapshot};
@@ -53,3 +54,4 @@ pub use nic::{DelayQueue, Fabric, Pipe};
 pub use schedule::{shrink_schedule, ScheduleConfig, ScheduleEvent, ScheduleMode, SchedulePlan};
 pub use time::{SimTime, MICROS, MILLIS, NANOS, SECS};
 pub use utps_collections::hashutil;
+pub use wheel::TimerWheel;

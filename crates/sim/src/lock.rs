@@ -181,7 +181,7 @@ mod tests {
     use super::*;
     use crate::cache::StatClass;
     use crate::config::MachineConfig;
-    use crate::engine::{Engine, Process};
+    use crate::engine::{Engine, Process, StepOutcome};
     use crate::time::SimTime;
 
     struct World {
@@ -200,10 +200,10 @@ mod tests {
     }
 
     impl Process<World> for Locker {
-        fn step(&mut self, ctx: &mut Ctx<'_>, w: &mut World) {
+        fn step(&mut self, ctx: &mut Ctx<'_>, w: &mut World) -> StepOutcome {
             if self.rounds == 0 {
                 ctx.halt();
-                return;
+                return StepOutcome::Idle;
             }
             if self.holding {
                 w.counter += 1;
@@ -217,6 +217,7 @@ mod tests {
             } else {
                 w.log.push("spun");
             }
+            StepOutcome::Progress
         }
     }
 
@@ -252,7 +253,7 @@ mod tests {
     struct OptWriter;
 
     impl Process<World> for OptWriter {
-        fn step(&mut self, ctx: &mut Ctx<'_>, w: &mut World) {
+        fn step(&mut self, ctx: &mut Ctx<'_>, w: &mut World) -> StepOutcome {
             if w.opt.try_lock(ctx) {
                 ctx.compute_ns(50);
                 w.counter += 1;
@@ -261,6 +262,7 @@ mod tests {
             if w.counter >= 10 {
                 ctx.halt();
             }
+            StepOutcome::Progress
         }
     }
 
@@ -285,7 +287,7 @@ mod tests {
     }
 
     impl Process<World> for ReadValidate {
-        fn step(&mut self, ctx: &mut Ctx<'_>, w: &mut World) {
+        fn step(&mut self, ctx: &mut Ctx<'_>, w: &mut World) -> StepOutcome {
             if let Some(v) = w.opt.read_version(ctx) {
                 // A writer slips in between read and validate in half the
                 // iterations (driven by the engine interleaving).
@@ -300,6 +302,7 @@ mod tests {
                     ctx.halt();
                 }
             }
+            StepOutcome::Progress
         }
     }
 
@@ -334,7 +337,7 @@ mod tests {
         let mut eng = Engine::new(MachineConfig::tiny(), 1, world);
         struct Upgrader;
         impl Process<World> for Upgrader {
-            fn step(&mut self, ctx: &mut Ctx<'_>, w: &mut World) {
+            fn step(&mut self, ctx: &mut Ctx<'_>, w: &mut World) -> StepOutcome {
                 let v = w.opt.read_version(ctx).unwrap();
                 // Simulate an interleaved writer bumping the version.
                 assert!(w.opt.try_lock(ctx));
@@ -345,6 +348,7 @@ mod tests {
                 assert!(w.opt.try_upgrade(ctx, v2));
                 w.opt.unlock(ctx);
                 ctx.halt();
+                StepOutcome::Progress
             }
         }
         eng.spawn(Some(0), StatClass::Other, Box::new(Upgrader));

@@ -36,7 +36,7 @@ impl ZipfGen {
     pub fn new(n: u64, theta: f64) -> Self {
         assert!(n > 0, "empty keyspace");
         assert!((0.0..1.0).contains(&theta), "theta must be in [0, 1)");
-        let zetan = Self::zeta(n, theta);
+        let zetan = Self::zeta_cached(n, theta);
         let zeta2 = Self::zeta(2, theta);
         let alpha = 1.0 / (1.0 - theta);
         let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
@@ -48,6 +48,34 @@ impl ZipfGen {
             eta,
             zeta2,
         }
+    }
+
+    /// [`Self::zeta`] behind a process-wide memo keyed on `(n, θ)`.
+    ///
+    /// Every client stream of a run (hundreds of them) builds a generator
+    /// over the same keyspace, and a benchmark sweep repeats that across
+    /// dozens of cells; the normalizer is a pure O(n) `powf` loop that
+    /// would otherwise dominate setup wall-clock. The cached value is the
+    /// bit-identical result of the same computation, so sampling is
+    /// unchanged. Small keyspaces skip the memo (and its lock) entirely.
+    fn zeta_cached(n: u64, theta: f64) -> f64 {
+        use std::sync::Mutex;
+        static MEMO: Mutex<Vec<((u64, u64), f64)>> = Mutex::new(Vec::new());
+        if n < 65_536 {
+            return Self::zeta(n, theta);
+        }
+        let key = (n, theta.to_bits());
+        if let Some(&(_, z)) = MEMO
+            .lock()
+            .expect("zeta memo poisoned")
+            .iter()
+            .find(|&&(k, _)| k == key)
+        {
+            return z;
+        }
+        let z = Self::zeta(n, theta);
+        MEMO.lock().expect("zeta memo poisoned").push((key, z));
+        z
     }
 
     /// The harmonic-like normalizer Σ 1/i^θ for i in 1..=n.

@@ -18,7 +18,7 @@ use utps_core::store::{KvOp, KvOpOutput, KvStore, OpBuffers};
 use utps_index::{IndexKind, Step};
 use utps_oracle::{check, fill_digest, value_digest, History, InitialState, OpClass};
 use utps_sim::time::SimTime;
-use utps_sim::{Ctx, Engine, MachineConfig, Process, StatClass};
+use utps_sim::{Ctx, Engine, MachineConfig, Process, StatClass, StepOutcome};
 
 const BUFS: OpBuffers = OpBuffers {
     recv_addr: 0x10_0000,
@@ -49,11 +49,12 @@ fn with_store(store: KvStore, f: impl FnOnce(&mut Ctx<'_>, &mut KvStore) + 'stat
         f: Option<F>,
     }
     impl<F: FnOnce(&mut Ctx<'_>, &mut KvStore)> Process<KvStore> for Once<F> {
-        fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut KvStore) {
+        fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut KvStore) -> StepOutcome {
             if let Some(f) = self.f.take() {
                 f(ctx, world);
             }
             ctx.halt();
+            StepOutcome::Idle
         }
     }
     let mut eng = Engine::new(MachineConfig::tiny(), 1, store);
@@ -134,11 +135,11 @@ struct Worker {
 }
 
 impl Process<KvStore> for Worker {
-    fn step(&mut self, ctx: &mut Ctx<'_>, store: &mut KvStore) {
+    fn step(&mut self, ctx: &mut Ctx<'_>, store: &mut KvStore) -> StepOutcome {
         let Some(op) = &mut self.cur else {
             if self.next >= self.ops.len() {
                 ctx.halt();
-                return;
+                return StepOutcome::Idle;
             }
             let op = self.ops[self.next].clone();
             self.next += 1;
@@ -172,7 +173,7 @@ impl Process<KvStore> for Worker {
                 }
             };
             self.cur = Some(kv);
-            return;
+            return StepOutcome::Progress;
         };
         match op.poll(ctx, store) {
             Step::Done(out) => {
@@ -194,6 +195,7 @@ impl Process<KvStore> for Worker {
             }
             Step::Ready | Step::Blocked => {}
         }
+        StepOutcome::Progress
     }
 }
 
