@@ -12,17 +12,21 @@
 //! On the stage engine, BaseKV is the degenerate composition: one
 //! run-to-completion [`Stage`] per worker, never handing off.
 
+use std::collections::VecDeque;
+
 use utps_core::client::{DriverState, KvWorld};
 use utps_core::experiment::{RunConfig, RunResult};
-use utps_core::msg::{NetMsg, OpKind};
+use utps_core::msg::{NetMsg, OpKind, Response};
 use utps_core::retry::DedupTable;
 use utps_core::rpc::{send_response, RecvRing, RespBuffers};
-use utps_core::stage::{Stage, StepOutcome};
-use utps_core::store::{KvOp, KvStore, OpBuffers};
+use utps_core::stage::{PipelineRuntime, Stage, StepOutcome};
+use utps_core::store::{KvOp, KvOpOutput, KvStore, OpBuffers};
+use utps_core::tier::TierState;
 use utps_index::Step;
 use utps_sim::nic::Fabric;
 use utps_sim::time::SimTime;
 use utps_sim::{Ctx, StatClass};
+use utps_wal::{WalOp, WalRecord};
 use utps_workload::Op;
 
 /// BaseKV server world.
@@ -45,6 +49,9 @@ pub struct BaseWorld {
     pub dedup: DedupTable,
     /// Cluster admission hooks; `None` outside cluster runs.
     pub cluster: Option<utps_core::shardctl::ShardCtl>,
+    /// Durable tier (WAL + cold sorted run); `None` (DRAM-only) leaves
+    /// BaseKV byte-identical to the tier-less build.
+    pub tier: Option<TierState>,
 }
 
 impl KvWorld for BaseWorld {
@@ -60,6 +67,9 @@ impl KvWorld for BaseWorld {
 struct ActiveOp {
     seq: u64,
     op: KvOp,
+    /// A get that missed DRAM but hit the cold run parks here until the
+    /// simulated device read completes: (ready time, value snapshot).
+    cold: Option<(SimTime, Vec<u8>)>,
 }
 
 /// A run-to-completion worker: the whole request pipeline as one stage.
@@ -68,6 +78,12 @@ pub struct BaseWorker {
     cursor: u64,
     batch: usize,
     ops: Vec<ActiveOp>,
+    /// WAL records for the batch in flight, sealed as one commit group
+    /// when the batch retires (tier runs only).
+    wal_buf: Vec<WalRecord>,
+    /// Acks held behind the durability barrier: (needed WAL seq, response,
+    /// response buffer address). Released once `durable_seq` catches up.
+    defers: VecDeque<(u64, Response, usize)>,
 }
 
 impl BaseWorker {
@@ -78,6 +94,8 @@ impl BaseWorker {
             cursor: id as u64,
             batch: batch.max(1),
             ops: Vec::new(),
+            wal_buf: Vec::new(),
+            defers: VecDeque::new(),
         }
     }
 
@@ -103,10 +121,36 @@ impl BaseWorker {
             Op::Scan { key, count } => KvOp::scan(&world.store, key, count, Vec::new(), bufs),
             Op::Delete { key } => KvOp::delete(&world.store, key, bufs),
         };
-        ActiveOp { seq, op }
+        ActiveOp {
+            seq,
+            op,
+            cold: None,
+        }
     }
 
     fn run(&mut self, ctx: &mut Ctx<'_>, world: &mut BaseWorld) {
+        // Release acks whose commit group has become durable. Every ack —
+        // reads included, since they may have observed an earlier
+        // un-durable write — waits here when the tier is on; the dedup
+        // table records only at actual send so a retransmit that arrives
+        // while its ack is parked re-executes idempotently.
+        if !self.defers.is_empty() {
+            let durable = {
+                let tier = world.tier.as_mut().expect("defers imply a tier");
+                tier.advance(ctx.now());
+                tier.durable_seq()
+            };
+            while self
+                .defers
+                .front()
+                .is_some_and(|(need, _, _)| *need <= durable)
+            {
+                let (_, resp, resp_addr) = self.defers.pop_front().expect("checked above");
+                world.dedup.record(resp.client, resp.seq);
+                world.responses += 1;
+                send_response(ctx, &mut world.fabric, resp_addr, resp);
+            }
+        }
         // Fill the batch: pump the NIC and claim owned slots.
         if self.ops.is_empty() {
             {
@@ -121,7 +165,7 @@ impl BaseWorker {
                 world.ring.claim(ctx, seq);
                 // Monolithic loop: parse→index→copy→respond front-end churn.
                 ctx.stage_transitions(3);
-                let (rc, rs, sent_at, key, is_mutation) = {
+                let (rc, rs, sent_at, key, is_mutation, is_scan) = {
                     let req = world.ring.request(seq);
                     (
                         req.client,
@@ -129,6 +173,7 @@ impl BaseWorker {
                         req.sent_at,
                         req.op.key(),
                         matches!(req.op, Op::Put { .. } | Op::Delete { .. }),
+                        matches!(req.op, Op::Scan { .. }),
                     )
                 };
                 // Cluster admission: bounce keys this shard no longer owns
@@ -187,6 +232,22 @@ impl BaseWorker {
                 }
                 let op = Self::build_op(ctx, world, self.id, seq);
                 self.ops.push(op);
+                // Pin the key against eviction (or pause compaction for a
+                // scan) while its FSM may hold item/node references.
+                if let Some(tier) = world.tier.as_mut() {
+                    if is_scan {
+                        tier.scan_inc();
+                    } else {
+                        tier.active_inc(key);
+                    }
+                }
+            }
+            if self.ops.is_empty() && !self.defers.is_empty() {
+                // Nothing runnable and acks parked on the barrier: jump to
+                // the next group commit instead of spinning.
+                if let Some(t) = world.tier.as_ref().and_then(|t| t.next_commit()) {
+                    ctx.advance_to(t);
+                }
             }
             return;
         }
@@ -197,32 +258,44 @@ impl BaseWorker {
         // worker — it spins until the lock holder finishes, stalling every
         // other stage on this thread.
         let mut i = 0;
+        let mut cold_next: Option<SimTime> = None;
         while i < self.ops.len() {
+            // Ops parked on a cold-tier device read resolve here once the
+            // read completes.
+            if let Some((ready, _)) = self.ops[i].cold {
+                if ctx.now() < ready {
+                    cold_next = Some(cold_next.map_or(ready, |m: SimTime| m.min(ready)));
+                    i += 1;
+                    continue;
+                }
+                let finished = self.ops.swap_remove(i);
+                let (_, v) = finished.cold.expect("checked above");
+                let len = v.len();
+                let payload = ctx.machine().payloads.alloc(v.into_boxed_slice());
+                ctx.write(world.resp.addr_for(self.id, finished.seq), len);
+                let out = KvOpOutput {
+                    ok: true,
+                    value: Some(payload),
+                    scan_count: 0,
+                    payload: 0,
+                };
+                self.respond(ctx, world, finished.seq, out);
+                continue;
+            }
             ctx.fsm_switch();
             match self.ops[i].op.poll(ctx, &mut world.store) {
                 Step::Done(out) => {
-                    let finished = self.ops.swap_remove(i);
-                    let req = world.ring.request(finished.seq);
-                    let is_get = matches!(req.op, Op::Get { .. });
-                    let resp = utps_core::msg::Response {
-                        client: req.client,
-                        seq: req.seq,
-                        ok: out.ok,
-                        moved: false,
-                        value: if is_get { out.value } else { None },
-                        scan_count: out.scan_count,
-                        payload_extra: if is_get { 0 } else { out.payload },
-                        resp_addr: 0,
-                        sent_at: req.sent_at,
+                    let Some(out) = self.tier_finish(ctx, world, i, out) else {
+                        // Parked on a cold-tier read; resolved on a later
+                        // pass over the batch.
+                        if let Some((ready, _)) = self.ops[i].cold {
+                            cold_next = Some(cold_next.map_or(ready, |m: SimTime| m.min(ready)));
+                        }
+                        i += 1;
+                        continue;
                     };
-                    let resp_addr = world.resp.addr_for(self.id, finished.seq);
-                    world.dedup.record(resp.client, resp.seq);
-                    if let Some(cl) = &world.cluster {
-                        cl.op_end(finished.seq);
-                    }
-                    world.ring.abort(finished.seq);
-                    world.responses += 1;
-                    send_response(ctx, &mut world.fabric, resp_addr, resp);
+                    let finished = self.ops.swap_remove(i);
+                    self.respond(ctx, world, finished.seq, out);
                 }
                 Step::Ready => i += 1,
                 Step::Blocked => {
@@ -232,6 +305,136 @@ impl BaseWorker {
                 }
             }
         }
+        if self.ops.is_empty() {
+            // Batch retired: seal its WAL records as one commit group. The
+            // acks queued above stay parked until this group commits.
+            if let Some(tier) = world.tier.as_mut() {
+                if !self.wal_buf.is_empty() {
+                    let records = std::mem::take(&mut self.wal_buf);
+                    // Group encode: header plus record copies into the tail.
+                    ctx.compute_ns(60 + 8 * records.len() as u64);
+                    tier.seal_group(&records, ctx.now());
+                }
+            }
+        } else if let Some(t) = cold_next {
+            // Only cold-read waiters remain: jump to the earliest device
+            // completion instead of spinning.
+            ctx.advance_to(t);
+        }
+    }
+
+    /// Completes one op: builds the response and either sends it (DRAM-only
+    /// build) or parks it behind the durability barrier (tier build).
+    fn respond(&mut self, ctx: &mut Ctx<'_>, world: &mut BaseWorld, seq: u64, out: KvOpOutput) {
+        let req = world.ring.request(seq);
+        let is_get = matches!(req.op, Op::Get { .. });
+        let resp = utps_core::msg::Response {
+            client: req.client,
+            seq: req.seq,
+            ok: out.ok,
+            moved: false,
+            value: if is_get { out.value } else { None },
+            scan_count: out.scan_count,
+            payload_extra: if is_get { 0 } else { out.payload },
+            resp_addr: 0,
+            sent_at: req.sent_at,
+        };
+        let resp_addr = world.resp.addr_for(self.id, seq);
+        if let Some(tier) = &world.tier {
+            if let Some(cl) = &world.cluster {
+                cl.op_end(seq);
+            }
+            world.ring.abort(seq);
+            self.defers
+                .push_back((tier.last_applied(), resp, resp_addr));
+        } else {
+            world.dedup.record(resp.client, resp.seq);
+            if let Some(cl) = &world.cluster {
+                cl.op_end(seq);
+            }
+            world.ring.abort(seq);
+            world.responses += 1;
+            send_response(ctx, &mut world.fabric, resp_addr, resp);
+        }
+    }
+
+    /// Tier bookkeeping when an op's FSM completes — the BaseKV twin of
+    /// `utps_core::server`'s `tier_finish`: releases the active-key guard,
+    /// appends WAL records for applied writes, serves get misses from the
+    /// cold run (parking the op on the device read; returns `None`), and
+    /// upgrades deletes of run-only keys. Passthrough without the tier.
+    fn tier_finish(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        world: &mut BaseWorld,
+        i: usize,
+        mut out: KvOpOutput,
+    ) -> Option<KvOpOutput> {
+        if world.tier.is_none() {
+            return Some(out);
+        }
+        let seq = self.ops[i].seq;
+        let (client, client_seq, key, is_put, is_delete, is_get, is_scan) = {
+            let req = world.ring.request(seq);
+            (
+                req.client,
+                req.seq,
+                req.op.key(),
+                matches!(req.op, Op::Put { .. }),
+                matches!(req.op, Op::Delete { .. }),
+                matches!(req.op, Op::Get { .. }),
+                matches!(req.op, Op::Scan { .. }),
+            )
+        };
+        // Snapshot the just-applied value before borrowing the tier.
+        let put_value = if is_put && out.ok {
+            world.store.get_native(key).map(<[u8]>::to_vec)
+        } else {
+            None
+        };
+        let tier = world.tier.as_mut().expect("checked above");
+        if is_scan {
+            tier.scan_dec();
+            return Some(out);
+        }
+        tier.active_dec(key);
+        if let Some(value) = put_value {
+            ctx.compute_ns(10 + value.len() as u64 / 16);
+            self.wal_buf.push(WalRecord {
+                wal_seq: tier.next_seq(),
+                client,
+                client_seq,
+                key,
+                op: WalOp::Put,
+                value,
+            });
+        } else if is_delete {
+            let cold_only = !out.ok && tier.cold_get(key).is_some();
+            if out.ok || cold_only {
+                // Kill any run copy; log the delete. A run-only delete
+                // succeeds by tombstone alone — the run is immutable.
+                tier.tombstone(key);
+                ctx.compute_ns(10);
+                self.wal_buf.push(WalRecord {
+                    wal_seq: tier.next_seq(),
+                    client,
+                    client_seq,
+                    key,
+                    op: WalOp::Delete,
+                    value: Vec::new(),
+                });
+                out.ok = true;
+            }
+        } else if is_get && !out.ok {
+            if let Some(v) = tier.cold_get(key) {
+                // Cold hit: park on the device read with a value snapshot
+                // (compaction may replace the run before the read lands).
+                let ready = tier.device.read(v.len(), ctx.now());
+                self.ops[i].cold = Some((ready, v));
+                return None;
+            }
+        }
+        Some(out)
     }
 }
 
@@ -250,12 +453,56 @@ impl Stage<BaseWorld> for BaseWorker {
     }
 }
 
-/// Runs BaseKV under `cfg`. `isolate_ddio = true` reproduces the "TPQ+CAT"
-/// variant of Figure 2a: worker CLOS masks exclude the DDIO ways.
-pub fn run_basekv_opts(cfg: &RunConfig, isolate_ddio: bool) -> RunResult {
+/// Background compactor driving the durable tier's eviction/merge pass —
+/// the BaseKV twin of μTPS's `TierCompactorProc` (no hot cache to honor).
+pub struct BaseCompactor {
+    total_keys: u64,
+    next_at: SimTime,
+}
+
+impl BaseCompactor {
+    /// Compactor over a `[0, total_keys)` key space, first pass at
+    /// `first_at`.
+    pub fn new(total_keys: u64, first_at: SimTime) -> Self {
+        BaseCompactor {
+            total_keys,
+            next_at: first_at,
+        }
+    }
+}
+
+impl Stage<BaseWorld> for BaseCompactor {
+    fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut BaseWorld) -> StepOutcome {
+        let Some(tier) = world.tier.as_mut() else {
+            ctx.halt();
+            return StepOutcome::Idle;
+        };
+        tier.advance(ctx.now());
+        if ctx.now() >= self.next_at {
+            utps_core::tier::compact_pass(tier, &mut world.store, None, self.total_keys, ctx);
+            let period = world
+                .tier
+                .as_ref()
+                .expect("tier checked above")
+                .cfg
+                .compact_every_ps;
+            self.next_at = SimTime(ctx.now().as_ps() + period);
+        }
+        ctx.advance_to(self.next_at);
+        StepOutcome::Idle
+    }
+
+    fn name(&self) -> &'static str {
+        "base-compactor"
+    }
+}
+
+/// Builds a fresh BaseKV world for `cfg` (populated store, tier from
+/// config). The crash runner reuses this and swaps in recovered state.
+pub fn build_base_world(cfg: &RunConfig) -> BaseWorld {
     let populate_len = cfg.workload.populate_value_len();
     let store = KvStore::populate(cfg.index, cfg.keys, populate_len);
-    let world = BaseWorld {
+    BaseWorld {
         fabric: Fabric::new(cfg.machine.net.clone(), cfg.clients),
         ring: RecvRing::new(cfg.ring_slots, cfg.slot_size),
         resp: RespBuffers::new(cfg.workers, 64, 1152),
@@ -265,26 +512,82 @@ pub fn run_basekv_opts(cfg: &RunConfig, isolate_ddio: bool) -> RunResult {
         responses: 0,
         dedup: DedupTable::new(cfg.clients, cfg.retry.enabled() || cfg.faults.net_active()),
         cluster: None,
-    };
-    crate::run::run_pipeline(
-        cfg,
-        cfg.workers,
-        world,
-        |rt| {
-            if isolate_ddio {
-                let full = rt.machine().cache.full_mask();
-                let ddio = rt.machine().cache.ddio_mask();
-                for w in 0..cfg.workers {
-                    rt.machine().cache.set_clos_mask(w, full & !ddio);
-                }
-            }
-            for id in 0..cfg.workers {
-                rt.spawn_stage(Some(id), StatClass::Other, BaseWorker::new(id, cfg.batch));
-            }
-            rt.spawn_clients(cfg);
-        },
-        |w| &w.driver,
-    )
+        tier: cfg.tier.clone().map(|t| TierState::new(t, cfg.seed)),
+    }
+}
+
+/// Spawns the BaseKV workers (and the tier compactor when configured).
+pub fn spawn_base_procs(rt: &mut PipelineRuntime<BaseWorld>, cfg: &RunConfig, isolate_ddio: bool) {
+    if isolate_ddio {
+        let full = rt.machine().cache.full_mask();
+        let ddio = rt.machine().cache.ddio_mask();
+        for w in 0..cfg.workers {
+            rt.machine().cache.set_clos_mask(w, full & !ddio);
+        }
+    }
+    for id in 0..cfg.workers {
+        rt.spawn_stage(Some(id), StatClass::Other, BaseWorker::new(id, cfg.batch));
+    }
+    if let Some(tc) = &cfg.tier {
+        rt.spawn_stage(
+            Some(cfg.workers),
+            StatClass::Other,
+            BaseCompactor::new(cfg.keys, SimTime(tc.compact_every_ps)),
+        );
+    }
+}
+
+/// Runs BaseKV under `cfg`. `isolate_ddio = true` reproduces the "TPQ+CAT"
+/// variant of Figure 2a: worker CLOS masks exclude the DDIO ways.
+pub fn run_basekv_opts(cfg: &RunConfig, isolate_ddio: bool) -> RunResult {
+    run_basekv_with_world(cfg, isolate_ddio).0
+}
+
+/// Like [`run_basekv_opts`] but also returns the final world (the crash
+/// runner harvests the tier and device state from it).
+pub fn run_basekv_with_world(cfg: &RunConfig, isolate_ddio: bool) -> (RunResult, BaseWorld) {
+    let world = build_base_world(cfg);
+    // One core per worker, plus one for the compactor when the tier is on
+    // (keeping the tier-less core count — and thus the schedule — intact).
+    let cores = cfg.workers + usize::from(cfg.tier.is_some());
+    let mut rt = PipelineRuntime::new(cfg, cores, world);
+    spawn_base_procs(&mut rt, cfg, isolate_ddio);
+    rt.spawn_clients(cfg);
+    rt.run(|eng| {
+        if let Some(t) = eng.world.tier.as_mut() {
+            t.stats = Default::default();
+            t.device.stats = Default::default();
+        }
+    });
+    let mut eng = rt.into_engine();
+    let tier_folds: Option<[(&'static str, u64); 11]> = eng.world.tier.as_ref().map(|t| {
+        [
+            ("wal.records", t.stats.wal_records),
+            ("wal.groups", t.stats.wal_groups),
+            ("wal.bytes", t.stats.wal_bytes),
+            ("device.reads", t.device.stats.reads),
+            ("device.writes", t.device.stats.writes),
+            ("tier.cold_hit", t.stats.cold_hits),
+            ("tier.cold_miss", t.stats.cold_misses),
+            ("tier.compactions", t.stats.compactions),
+            ("tier.evicted", t.stats.evicted),
+            ("tier.run_items", t.run_items()),
+            ("tier.tombstones", t.tombstone_count()),
+        ]
+    });
+    if let Some(tf) = tier_folds {
+        let reg = &mut eng.machine().registry;
+        for (name, v) in tf {
+            reg.counter_add(name, v);
+        }
+    }
+    let mut r = crate::run::result_from_driver(cfg, &mut eng, |w: &BaseWorld| &w.driver);
+    r.tier = eng
+        .world
+        .tier
+        .as_ref()
+        .map(utps_core::tier::TierRunStats::from_tier);
+    (r, eng.world)
 }
 
 /// Runs BaseKV under `cfg`.
@@ -336,6 +639,33 @@ mod tests {
         let r = run_basekv(&cfg);
         assert!(r.completed > 500);
         assert_eq!(r.not_found, 0);
+    }
+
+    #[test]
+    fn basekv_tier_serves_evicted_keys() {
+        let cfg = RunConfig {
+            record_history: true,
+            tier: Some(utps_core::tier::TierConfig {
+                dram_items_max: 15_000,
+                evict_batch: 256,
+                compact_every_ps: 100 * MICROS,
+                ..Default::default()
+            }),
+            ..quick_cfg()
+        };
+        let (r, w) = run_basekv_with_world(&cfg, false);
+        assert!(r.completed > 500, "only {} completed", r.completed);
+        let t = r.tier.expect("tier stats attached");
+        assert!(t.wal_records > 0, "writes must hit the WAL");
+        assert!(t.evicted > 0, "compactor never evicted");
+        assert!(t.durable_seq <= t.last_applied);
+        // No deletes in the default mix and every key pre-populated: any
+        // read of an evicted key must be served from the cold run.
+        assert_eq!(r.not_found, 0, "cold tier must serve evicted keys");
+        assert!(w.tier.expect("tier state").run_items() > 0);
+        let (r2, _) = run_basekv_with_world(&cfg, false);
+        assert_eq!(r.history_digest, r2.history_digest);
+        assert_eq!(r.completed, r2.completed);
     }
 
     #[test]

@@ -1,0 +1,159 @@
+//! BaseKV crash + recovery: the run-to-completion twin of
+//! `utps_core::crash::run_utps_crash`, sharing its harvest/recover/check
+//! helpers so both systems face the identical protocol — run to a seeded
+//! power loss, truncate the device at its durable marks, replay the
+//! surviving WAL over the newest decodable run, resume with a continued
+//! client fleet, and hand the stitched history to the oracle.
+
+use utps_core::crash::{check_combined, client_next_seqs, durable_acks_preserved, CrashReport};
+use utps_core::experiment::RunConfig;
+use utps_core::stage::PipelineRuntime;
+use utps_core::store::KvStore;
+use utps_core::tier::TierState;
+use utps_core::ClientProc;
+use utps_sim::time::SimTime;
+use utps_sim::StatClass;
+
+use crate::basekv::{build_base_world, spawn_base_procs};
+
+/// Runs BaseKV with the durable tier to a crash at `crash_at_ps`, recovers
+/// from the surviving media image, resumes with a continued client fleet,
+/// and verifies the combined history. Panics if `cfg.tier` is `None`.
+pub fn run_basekv_crash(cfg: &RunConfig, crash_at_ps: u64) -> CrashReport {
+    let mut cfg = cfg.clone();
+    cfg.record_history = true;
+    assert!(cfg.tier.is_some(), "crash runner requires the durable tier");
+    assert!(
+        crash_at_ps < cfg.warmup + cfg.duration,
+        "crash point must land inside the run"
+    );
+    let cores = cfg.workers + 1;
+
+    // Phase 1: run to the crash instant.
+    let world = build_base_world(&cfg);
+    let mut rt = PipelineRuntime::new(&cfg, cores, world);
+    spawn_base_procs(&mut rt, &cfg, false);
+    rt.spawn_clients(&cfg);
+    rt.engine().run_until(SimTime(crash_at_ps));
+    let world = rt.into_engine().world;
+
+    let history1 = world.driver.history.clone().expect("history enabled");
+    let pre_completed = world.driver.completed_total();
+    let pre_issued: u64 = world.driver.clients.iter().map(|c| c.issued).sum();
+    let pre_failed: u64 = world.driver.clients.iter().map(|c| c.failed).sum();
+    let pending_at_crash = history1.records().iter().filter(|r| r.pending()).count();
+    let next_seqs = client_next_seqs(&history1, cfg.clients);
+
+    // Phase 2: the media image a restarting process finds, replayed.
+    let mut tier = world.tier.expect("tier checked above");
+    let image = tier.crash_image(SimTime(crash_at_ps));
+    let populate_len = cfg.workload.populate_value_len();
+    let initial = (0..cfg.keys).map(|k| (k, vec![0xabu8; populate_len]));
+    let mut rec = utps_wal::recover(initial, image.run.as_ref(), &image.wal);
+    let (acked_mutations, acked_preserved) = durable_acks_preserved(&history1, &rec.acked);
+
+    // Phase 3: rebuild the world around the recovered image and resume.
+    let mut world2 = build_base_world(&cfg);
+    world2.store = KvStore::from_items(cfg.index, std::mem::take(&mut rec.items));
+    world2.tier = Some(TierState::remount(
+        cfg.tier.clone().expect("checked above"),
+        cfg.seed,
+        image.wal[..rec.wal_valid_len].to_vec(),
+        image.run.clone(),
+        rec.next_wal_seq,
+        rec.groups + 1,
+        rec.tombstones.iter().copied(),
+    ));
+    for &(c, s) in &rec.acked {
+        world2.dedup.record(c, s);
+    }
+    let mut rt2 = PipelineRuntime::new(&cfg, cores, world2);
+    spawn_base_procs(&mut rt2, &cfg, false);
+    rt2.engine().world.driver.enable_history();
+    for (c, &start_seq) in next_seqs.iter().enumerate() {
+        let wl = cfg
+            .workload
+            .build(cfg.keys, cfg.seed, (cfg.clients + c) as u64);
+        rt2.engine().spawn(
+            None,
+            StatClass::Other,
+            Box::new(ClientProc::with_start_seq(
+                c as u32,
+                wl,
+                cfg.pipeline,
+                cfg.retry.clone(),
+                start_seq,
+            )),
+        );
+    }
+    rt2.run(|_| {});
+    let eng2 = rt2.into_engine();
+    let history2 = eng2.world.driver.history.clone().expect("history enabled");
+    let post_completed = eng2.world.driver.completed_total();
+    let post_issued: u64 = eng2.world.driver.clients.iter().map(|c| c.issued).sum();
+    let post_failed: u64 = eng2.world.driver.clients.iter().map(|c| c.failed).sum();
+
+    let (combined_digest, oracle) =
+        check_combined(&history1, &history2, crash_at_ps, cfg.keys, populate_len);
+    CrashReport {
+        pre_completed,
+        pre_issued,
+        pre_failed,
+        post_completed,
+        post_issued,
+        post_failed,
+        pending_at_crash,
+        acked_mutations,
+        acked_preserved,
+        wal_truncated: rec.truncated,
+        torn_segments: image.torn_segments,
+        replayed: rec.replayed,
+        groups: rec.groups,
+        run_recovered: image.run.is_some(),
+        combined_digest,
+        oracle,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use utps_core::retry::RetryConfig;
+    use utps_core::tier::TierConfig;
+    use utps_sim::config::MachineConfig;
+    use utps_sim::time::MICROS;
+
+    #[test]
+    fn basekv_crash_recover_resume_round_trips() {
+        let cfg = RunConfig {
+            keys: 20_000,
+            workers: 4,
+            clients: 8,
+            pipeline: 4,
+            warmup: 500 * MICROS,
+            duration: 1_500 * MICROS,
+            machine: MachineConfig::tiny(),
+            oracle: true,
+            retry: RetryConfig::chaos_default(),
+            tier: Some(TierConfig {
+                dram_items_max: 15_000,
+                evict_batch: 256,
+                compact_every_ps: 100 * MICROS,
+                ..Default::default()
+            }),
+            ..RunConfig::default()
+        };
+        let crash_at = cfg.warmup + cfg.duration / 2;
+        let rep = run_basekv_crash(&cfg, crash_at);
+        assert!(rep.pre_completed > 200, "pre: {}", rep.pre_completed);
+        assert!(rep.post_completed > 200, "post: {}", rep.post_completed);
+        assert!(rep.acked_preserved, "durable-ack invariant violated");
+        assert!(
+            rep.oracle.ok(),
+            "oracle violations: {:?}",
+            rep.oracle.violations
+        );
+        let rep2 = run_basekv_crash(&cfg, crash_at);
+        assert_eq!(rep.combined_digest, rep2.combined_digest);
+    }
+}

@@ -89,6 +89,7 @@ pub fn result_from_driver<W>(
         oracle,
         schedule_trace,
         cluster: None,
+        tier: None,
         engine_steps: eng.steps(),
         engine_bursts: eng.bursts(),
         engine_wheel_cascades: eng.wheel_cascades(),

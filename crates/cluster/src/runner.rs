@@ -257,6 +257,7 @@ pub fn run_cluster_utps(cfg: &ClusterConfig) -> RunResult {
                 base.retry.enabled() || base.faults.net_active(),
             ),
             cluster: None,
+            tier: None,
         };
         if !trivial {
             world.install_cluster(ShardCtl {
@@ -432,6 +433,7 @@ pub fn run_cluster_utps(cfg: &ClusterConfig) -> RunResult {
         oracle,
         schedule_trace,
         cluster,
+        tier: None,
         engine_steps: eng.steps(),
         engine_bursts: eng.bursts(),
         engine_wheel_cascades: eng.wheel_cascades(),
@@ -465,6 +467,7 @@ pub fn run_cluster_basekv(cfg: &ClusterConfig) -> RunResult {
                 base.retry.enabled() || base.faults.net_active(),
             ),
             cluster: None,
+            tier: None,
         };
         if !trivial {
             world.install_cluster(ShardCtl {
@@ -547,6 +550,7 @@ pub fn run_cluster_basekv(cfg: &ClusterConfig) -> RunResult {
         oracle,
         schedule_trace,
         cluster,
+        tier: None,
         engine_steps: eng.steps(),
         engine_bursts: eng.bursts(),
         engine_wheel_cascades: eng.wheel_cascades(),

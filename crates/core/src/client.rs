@@ -145,6 +145,21 @@ impl ClientProc {
         }
     }
 
+    /// Creates a client whose sequence numbers start at `start_seq` instead
+    /// of 0 — the post-crash fleet continues each client's pre-crash numbering
+    /// so the server's restored dedup floor stays meaningful.
+    pub fn with_start_seq(
+        id: u32,
+        workload: Box<dyn Workload + Send>,
+        pipeline: usize,
+        retry: RetryConfig,
+        start_seq: u64,
+    ) -> Self {
+        let mut c = ClientProc::with_retry(id, workload, pipeline, retry);
+        c.next_seq = start_seq;
+        c
+    }
+
     /// The deterministic fill byte this client writes (for data checks).
     pub fn fill_byte(id: u32) -> u8 {
         0x40 + (id as u8 & 0x3f)

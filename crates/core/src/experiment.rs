@@ -183,6 +183,9 @@ pub struct RunConfig {
     pub oracle: bool,
     /// Scheduler perturbation: off, seeded exploration, or trace replay.
     pub schedule: ScheduleMode,
+    /// Durable tier (WAL + cold sorted run) behind the MR layer. `None`
+    /// (default) keeps every run byte-identical to the DRAM-only build.
+    pub tier: Option<crate::tier::TierConfig>,
 }
 
 impl Default for RunConfig {
@@ -221,6 +224,7 @@ impl Default for RunConfig {
             record_history: false,
             oracle: false,
             schedule: ScheduleMode::Off,
+            tier: None,
         }
     }
 }
@@ -348,6 +352,9 @@ pub struct RunResult {
     pub schedule_trace: Vec<ScheduleEvent>,
     /// Cluster-level stats; `None` outside `utps-cluster` runs.
     pub cluster: Option<ClusterStats>,
+    /// Durable-tier stats; `None` when the tier is disabled (which keeps
+    /// [`stats_json`] byte-identical to the pre-tier goldens).
+    pub tier: Option<crate::tier::TierRunStats>,
     /// Total engine steps executed over the whole run (warmup included).
     /// Harness-throughput diagnostics only; excluded from [`stats_json`].
     pub engine_steps: u64,
@@ -367,6 +374,25 @@ pub fn run_utps(cfg: &RunConfig) -> RunResult {
 /// Like [`run_utps`], additionally returning the final world state so tests
 /// can inspect the store, queues and caches after the run.
 pub fn run_utps_with_world(cfg: &RunConfig) -> (RunResult, UtpsWorld) {
+    let world = build_utps_world(cfg);
+    // Cores: one per worker plus one for the manager.
+    let mut rt = PipelineRuntime::new(cfg, cfg.workers + 1, world);
+    spawn_utps_procs(&mut rt, cfg);
+    rt.spawn_clients(cfg);
+
+    // Warmup → counter reset → measure. μTPS resets everything observable
+    // (registry, server counters, hot-cache and ring stats) so the measured
+    // window is self-contained; the runtime handles the cache counters.
+    rt.run(reset_utps_counters);
+
+    let mut eng = rt.into_engine();
+    let result = extract_result(cfg, &mut eng);
+    (result, eng.world)
+}
+
+/// Builds a fresh μTPS server world for `cfg` (populated store, empty
+/// tier). The crash runner reuses this and then swaps in recovered state.
+pub fn build_utps_world(cfg: &RunConfig) -> UtpsWorld {
     let populate_len = cfg.workload.populate_value_len();
     let store = KvStore::populate(cfg.index, cfg.keys, populate_len);
     assert!(
@@ -382,7 +408,7 @@ pub fn run_utps_with_world(cfg: &RunConfig) -> (RunResult, UtpsWorld) {
         cache_enabled: cfg.cache_enabled,
         lease_ps: cfg.lease_ps,
     };
-    let world = UtpsWorld {
+    UtpsWorld {
         fabric: utps_sim::Fabric::new(cfg.machine.net.clone(), cfg.clients),
         ring: RecvRing::new(cfg.ring_slots, cfg.slot_size),
         resp: RespBuffers::new(cfg.workers, 64, 1152),
@@ -393,7 +419,7 @@ pub fn run_utps_with_world(cfg: &RunConfig) -> (RunResult, UtpsWorld) {
         } else {
             0
         }),
-        cfg: server_cfg.clone(),
+        cfg: server_cfg,
         reconfig: None,
         samples: (0..cfg.workers).map(|_| Default::default()).collect(),
         scan_skips: Default::default(),
@@ -404,11 +430,16 @@ pub fn run_utps_with_world(cfg: &RunConfig) -> (RunResult, UtpsWorld) {
         tuner_probes: Vec::new(),
         dedup: DedupTable::new(cfg.clients, cfg.retry.enabled() || cfg.faults.net_active()),
         cluster: None,
-    };
+        tier: cfg
+            .tier
+            .clone()
+            .map(|t| crate::tier::TierState::new(t, cfg.seed)),
+    }
+}
 
-    // Cores: one per worker plus one for the manager.
-    let mut rt = PipelineRuntime::new(cfg, cfg.workers + 1, world);
-
+/// Spawns the server processes — workers, manager, and (when the tier is
+/// enabled) the background compactor — and applies static CLOS masks.
+pub fn spawn_utps_procs(rt: &mut PipelineRuntime<UtpsWorld>, cfg: &RunConfig) {
     // Static CLOS assignment when the tuner is off.
     if cfg.mr_ways > 0 {
         let full = rt.machine().cache.full_mask();
@@ -422,6 +453,7 @@ pub fn run_utps_with_world(cfg: &RunConfig) -> (RunResult, UtpsWorld) {
         }
     }
 
+    let server_cfg = rt.engine().world.cfg.clone();
     for id in 0..cfg.workers {
         let class = if id < cfg.n_cr {
             StatClass::Cr
@@ -440,25 +472,33 @@ pub fn run_utps_with_world(cfg: &RunConfig) -> (RunResult, UtpsWorld) {
         StatClass::Other,
         Box::new(ManagerProc::new(tuner, refresh, cfg.hot_capacity)),
     );
-    rt.spawn_clients(cfg);
+    // Background compactor shares the manager core.
+    if let Some(tc) = &cfg.tier {
+        rt.spawn_process(
+            Some(cfg.workers),
+            StatClass::Other,
+            Box::new(crate::tier::TierCompactorProc::new(
+                cfg.keys,
+                SimTime(tc.compact_every_ps),
+            )),
+        );
+    }
+}
 
-    // Warmup → counter reset → measure. μTPS resets everything observable
-    // (registry, server counters, hot-cache and ring stats) so the measured
-    // window is self-contained; the runtime handles the cache counters.
-    rt.run(|eng| {
-        eng.machine().registry.reset();
-        eng.world.stats.responses = 0;
-        eng.world.stats.cr_local = 0;
-        eng.world.stats.forwarded = 0;
-        eng.world.hot.reset_stats();
-        eng.world.ring.polls = 0;
-        eng.world.ring.poll_hits = 0;
-        eng.world.ring.dma_count = 0;
-    });
-
-    let mut eng = rt.into_engine();
-    let result = extract_result(cfg, &mut eng);
-    (result, eng.world)
+/// The warmup-boundary counter reset shared by the normal and crash runners.
+pub fn reset_utps_counters(eng: &mut Engine<UtpsWorld>) {
+    eng.machine().registry.reset();
+    eng.world.stats.responses = 0;
+    eng.world.stats.cr_local = 0;
+    eng.world.stats.forwarded = 0;
+    eng.world.hot.reset_stats();
+    eng.world.ring.polls = 0;
+    eng.world.ring.poll_hits = 0;
+    eng.world.ring.dma_count = 0;
+    if let Some(tier) = eng.world.tier.as_mut() {
+        tier.stats = Default::default();
+        tier.device.stats = Default::default();
+    }
 }
 
 /// Builds the [`RunResult`] from a finished μTPS engine.
@@ -485,12 +525,35 @@ pub fn extract_result(cfg: &RunConfig, eng: &mut Engine<UtpsWorld>) -> RunResult
             ("cfg.cache_items", w.hot.len() as u64),
             ("cfg.mr_ways", w.mr_ways as u64),
         ];
+        // Tier counters exist in the registry only when the tier is enabled:
+        // tier-disabled documents stay byte-identical to the pre-tier
+        // goldens (the lint schema still pins the names).
+        let tier_folds: Option<[(&'static str, u64); 11]> = w.tier.as_ref().map(|t| {
+            [
+                ("wal.records", t.stats.wal_records),
+                ("wal.groups", t.stats.wal_groups),
+                ("wal.bytes", t.stats.wal_bytes),
+                ("device.reads", t.device.stats.reads),
+                ("device.writes", t.device.stats.writes),
+                ("tier.cold_hit", t.stats.cold_hits),
+                ("tier.cold_miss", t.stats.cold_misses),
+                ("tier.compactions", t.stats.compactions),
+                ("tier.evicted", t.stats.evicted),
+                ("tier.run_items", t.run_items()),
+                ("tier.tombstones", t.tombstone_count()),
+            ]
+        });
         let reg = &mut eng.machine().registry;
         for (name, v) in folds {
             reg.counter_add(name, v);
         }
         for (name, v) in gauges {
             reg.gauge_set(name, v);
+        }
+        if let Some(tf) = tier_folds {
+            for (name, v) in tf {
+                reg.counter_add(name, v);
+            }
         }
         pin_fault_counters(reg);
     }
@@ -542,6 +605,10 @@ pub fn extract_result(cfg: &RunConfig, eng: &mut Engine<UtpsWorld>) -> RunResult
         oracle,
         schedule_trace,
         cluster: None,
+        tier: world
+            .tier
+            .as_ref()
+            .map(crate::tier::TierRunStats::from_tier),
         engine_steps: eng.steps(),
         engine_bursts: eng.bursts(),
         engine_wheel_cascades: eng.wheel_cascades(),
@@ -645,6 +712,10 @@ pub fn stats_json(r: &RunResult) -> String {
     // byte-identical to the pre-cluster goldens.
     if let Some(c) = &r.cluster {
         s.push_str(&format!("\"cluster\":{},", c.to_json()));
+    }
+    // Same pattern for the durable tier: section present only when enabled.
+    if let Some(t) = &r.tier {
+        s.push_str(&format!("\"tier\":{},", t.to_json()));
     }
     s.push_str(&format!(
         "\"tuner_probes\":{},",
@@ -755,6 +826,38 @@ mod tests {
             "CR layer served only {:.1}% locally",
             r.cr_local_frac * 100.0
         );
+    }
+
+    #[test]
+    fn tier_enabled_run_serves_evicted_keys() {
+        let cfg = RunConfig {
+            record_history: true,
+            tier: Some(crate::tier::TierConfig {
+                dram_items_max: 15_000,
+                evict_batch: 256,
+                compact_every_ps: 100 * MICROS,
+                ..Default::default()
+            }),
+            ..quick_cfg()
+        };
+        let (r, w) = run_utps_with_world(&cfg);
+        assert!(r.completed > 500, "only {} ops completed", r.completed);
+        let t = r.tier.expect("tier stats attached");
+        assert!(t.wal_records > 0, "writes must hit the WAL");
+        assert!(t.wal_groups > 0);
+        assert!(t.durable_seq <= t.last_applied);
+        assert!(t.evicted > 0, "compactor never evicted");
+        assert!(t.compactions > 0);
+        // Mix::A has no deletes and every key is pre-populated: any read of
+        // an evicted key must be served from the cold run, so clients never
+        // observe a miss.
+        assert_eq!(r.not_found, 0, "cold tier must serve evicted keys");
+        let tier = w.tier.expect("tier state");
+        assert!(tier.run_items() > 0);
+        // Determinism: same seed, byte-identical history.
+        let (r2, _) = run_utps_with_world(&cfg);
+        assert_eq!(r.history_digest, r2.history_digest);
+        assert_eq!(r.completed, r2.completed);
     }
 
     #[test]

@@ -128,6 +128,15 @@ impl HotCache {
         false
     }
 
+    /// Uncharged membership probe for host-side maintenance (the tier
+    /// compactor must not evict hot-cached keys): no simulated cost, no
+    /// hit/miss accounting.
+    pub fn contains_native(&mut self, key: u64) -> bool {
+        self.entries
+            .get_mut(key)
+            .is_some_and(|slot| *slot != TOMBSTONE)
+    }
+
     /// Drops every entry (e.g. when the tuner disables the cache).
     pub fn clear(&mut self) {
         self.entries = SortedCache::empty();

@@ -22,6 +22,7 @@
 //! [`utps_sim`]; see DESIGN.md for the hardware substitution table.
 
 pub mod client;
+pub mod crash;
 pub mod crmr;
 pub mod experiment;
 pub mod hotcache;
@@ -32,10 +33,13 @@ pub mod server;
 pub mod shardctl;
 pub mod stage;
 pub mod store;
+pub mod tier;
 pub mod tuner;
 
 pub use client::{ClientProc, ClientStats};
+pub use crash::{run_utps_crash, CrashReport};
 pub use experiment::{RunConfig, RunResult, SystemKind};
 pub use msg::{NetMsg, OpKind, Request, Response};
 pub use stage::{PipelineRuntime, Stage, StageProc, StepOutcome};
 pub use store::KvStore;
+pub use tier::{TierConfig, TierRunStats, TierState};

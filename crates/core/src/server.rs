@@ -134,6 +134,9 @@ pub struct UtpsWorld {
     /// Cluster admission hooks; `None` (single-machine) leaves every code
     /// path byte-identical to the pre-cluster behavior.
     pub cluster: Option<crate::shardctl::ShardCtl>,
+    /// Durable tier (WAL + cold sorted run); `None` (DRAM-only) leaves
+    /// every code path byte-identical to the pre-tier behavior.
+    pub tier: Option<crate::tier::TierState>,
 }
 
 impl KvWorld for UtpsWorld {
@@ -207,6 +210,11 @@ struct CrState {
     /// Per-lane descriptor-lease deadline: a lane with pending work past
     /// this time has its unpopped backlog revoked (see `check_leases`).
     lease_at: Vec<SimTime>,
+    /// Hot-path acks held behind the tier's durability barrier:
+    /// `(need_seq, response, claim time)` FIFO, `need_seq` monotone. A
+    /// locally served op may have observed writes whose commit group is
+    /// still in flight; its ack leaves only once `durable_seq` covers them.
+    ack_defer: VecDeque<(u64, Response, SimTime)>,
 }
 
 impl CrState {
@@ -225,6 +233,7 @@ impl CrState {
             sample_ctr: 0,
             draining: false,
             lease_at: vec![SimTime::ZERO; workers],
+            ack_defer: VecDeque::new(),
         }
     }
 
@@ -242,6 +251,7 @@ impl CrState {
             sample_ctr: 0,
             draining: false,
             lease_at: vec![SimTime::ZERO; workers],
+            ack_defer: VecDeque::new(),
         }
     }
 
@@ -258,6 +268,23 @@ struct ActiveOp {
     done: bool,
     /// When the descriptor was popped (traversal-latency measurement).
     started: SimTime,
+    /// A get that missed DRAM but hit the cold run parks here until the
+    /// device read completes: `(ready time, value snapshot)`. The snapshot
+    /// is owned because compaction may replace the run mid-read.
+    cold: Option<(SimTime, Vec<u8>)>,
+}
+
+/// One super-batch's completions held behind the durability barrier: the
+/// piggybacked lane counters (and shared-mode seqs) advance only once every
+/// WAL sequence up to `need_seq` is durable. Read-only batches carry the
+/// same barrier — their responses may have observed not-yet-durable writes
+/// applied in place by an earlier batch.
+struct TierDefer {
+    need_seq: u64,
+    /// `(producer, count)` lane-counter advances (all-to-all mode).
+    lanes: Vec<(usize, u64)>,
+    /// Completed seqs (shared-queue counterfactual mode).
+    shared: Vec<u64>,
 }
 
 /// Memory-resident worker state.
@@ -267,6 +294,12 @@ struct MrState {
     lane_pop: Vec<u32>,
     prod_rr: usize,
     scratch: Vec<Desc>,
+    /// WAL records of the in-progress super-batch (sealed at `all_done`).
+    wal_buf: Vec<utps_wal::WalRecord>,
+    /// Shared-mode seqs completed in the current super-batch (deferred).
+    shared_done: Vec<u64>,
+    /// Commit groups awaiting durability, FIFO (`need_seq` monotone).
+    defers: VecDeque<TierDefer>,
 }
 
 impl MrState {
@@ -276,6 +309,9 @@ impl MrState {
             lane_pop: vec![0; workers],
             prod_rr: 0,
             scratch: Vec::new(),
+            wal_buf: Vec::new(),
+            shared_done: Vec::new(),
+            defers: VecDeque::new(),
         }
     }
 }
@@ -321,12 +357,17 @@ impl CrStage {
     fn run(&mut self, ctx: &mut Ctx<'_>, world: &mut UtpsWorld) -> bool {
         let id = self.id;
 
+        // 0a. Release hot-path acks whose commit groups became durable.
+        self.drain_deferred(ctx, world);
+
         // 0. Finish a blocked/ready local hot-path operation first.
         if let Some((seq, mut op, started)) = self.st.local.take() {
             loop {
                 match op.poll(ctx, &mut world.store) {
                     Step::Done(out) => {
-                        finish_local(ctx, world, id, seq, out, started);
+                        if let Some(d) = finish_local(ctx, world, id, seq, out, started) {
+                            self.st.ack_defer.push_back(d);
+                        }
                         break;
                     }
                     Step::Ready => continue,
@@ -618,7 +659,9 @@ impl CrStage {
                 ctx.machine().registry.counter_inc("cr.hit");
                 self.drive_local(ctx, world, seq, KvOp::get_cached(key, item, bufs), started);
             }
-            (Op::Put { .. }, Some(item)) => {
+            // With the durable tier, writes always go through the MR layer:
+            // only there can they be sequenced into the WAL.
+            (Op::Put { .. }, Some(item)) if world.tier.is_none() => {
                 world.stats.cr_local += 1;
                 ctx.machine().registry.counter_inc("cr.hit");
                 // Move the payload out of NIC buffer memory — written once
@@ -660,7 +703,7 @@ impl CrStage {
                 ctx.machine().registry.counter_inc("cr.miss");
                 self.forward(ctx, world, seq, key, OpKind::Get, 0);
             }
-            (Op::Put { value_len, .. }, None) => {
+            (Op::Put { value_len, .. }, _) => {
                 let size = *value_len as u32;
                 world.stats.forwarded += 1;
                 ctx.machine().registry.counter_inc("cr.miss");
@@ -691,7 +734,9 @@ impl CrStage {
         loop {
             match op.poll(ctx, &mut world.store) {
                 Step::Done(out) => {
-                    finish_local(ctx, world, self.id, seq, out, started);
+                    if let Some(d) = finish_local(ctx, world, self.id, seq, out, started) {
+                        self.st.ack_defer.push_back(d);
+                    }
                     return;
                 }
                 Step::Ready => continue,
@@ -800,6 +845,37 @@ impl CrStage {
         }
     }
 
+    /// Releases deferred hot-path acks whose durability requirement is now
+    /// met (no-op without the tier).
+    fn drain_deferred(&mut self, ctx: &mut Ctx<'_>, world: &mut UtpsWorld) {
+        if self.st.ack_defer.is_empty() {
+            return;
+        }
+        let durable = {
+            let Some(tier) = world.tier.as_mut() else {
+                return;
+            };
+            tier.advance(ctx.now());
+            tier.durable_seq()
+        };
+        while self
+            .st
+            .ack_defer
+            .front()
+            .is_some_and(|(need, ..)| *need <= durable)
+        {
+            let (_, resp, started) = self.st.ack_defer.pop_front().expect("checked non-empty");
+            world.stats.responses += 1;
+            world.dedup.record(resp.client, resp.seq);
+            let hit_ns = ctx.now().since(started) / utps_sim::time::NANOS;
+            let reg = &mut ctx.machine().registry;
+            reg.counter_inc("cr.response");
+            reg.hist_record("cr.hit_path_ns", hit_ns);
+            let resp_addr = resp.resp_addr;
+            send_response(ctx, &mut world.fabric, resp_addr, resp);
+        }
+    }
+
     /// Attempts to finish draining; `true` once this worker has handed its
     /// core to the MR layer.
     fn try_depart(&mut self, ctx: &mut Ctx<'_>, world: &mut UtpsWorld) -> bool {
@@ -825,9 +901,15 @@ impl CrStage {
                 }
             }
         }
-        // Keep sending completions for already-forwarded requests.
+        // Keep sending completions for already-forwarded requests (and
+        // releasing barrier-held acks).
         self.poll_completions(ctx, world, 8);
-        if self.st.local.is_none() && self.st.outstanding() == 0 && world.crmr.producer_idle(id) {
+        self.drain_deferred(ctx, world);
+        if self.st.local.is_none()
+            && self.st.outstanding() == 0
+            && world.crmr.producer_idle(id)
+            && self.st.ack_defer.is_empty()
+        {
             // All clear: hand the core to a fresh MR stage.
             ctx.set_class(StatClass::Mr);
             world.adopt_reconfig(id, ctx.now());
@@ -879,10 +961,45 @@ impl MrStage {
         }
     }
 
+    /// Advances the durability barrier and releases completions of commit
+    /// groups that became durable (no-op without the tier).
+    fn drain_tier(&mut self, ctx: &mut Ctx<'_>, world: &mut UtpsWorld) {
+        if self.st.defers.is_empty() {
+            return;
+        }
+        let durable = {
+            let Some(tier) = world.tier.as_mut() else {
+                return;
+            };
+            tier.advance(ctx.now());
+            tier.durable_seq()
+        };
+        let id = self.id;
+        while self
+            .st
+            .defers
+            .front()
+            .is_some_and(|d| d.need_seq <= durable)
+        {
+            let d = self.st.defers.pop_front().expect("checked non-empty");
+            for (p, n) in d.lanes {
+                world.crmr.complete(ctx, p, id, n);
+            }
+            for seq in d.shared {
+                let owner = world.owner_of(seq);
+                world.crmr.complete_shared(ctx, owner, seq);
+            }
+        }
+    }
+
     /// One MR scheduling slot; `true` means the worker has switched to the
     /// CR layer and the caller must install [`MrStage::successor`].
     fn run(&mut self, ctx: &mut Ctx<'_>, world: &mut UtpsWorld) -> bool {
         let id = self.id;
+
+        // Release barrier-held completions first: durability progresses
+        // with device time regardless of what this worker does next.
+        self.drain_tier(ctx, world);
 
         // Reconfiguration: become a CR worker when told to and fully idle.
         let rc = world
@@ -891,7 +1008,10 @@ impl MrStage {
             .map(|r| (r.new_n_cr, r.switch_seq, r.adopted[id]));
         if let Some((new_n_cr, switch_seq, adopted)) = rc {
             if !adopted && id < new_n_cr {
-                if self.st.ops.is_empty() && world.crmr.consumer_idle(id) {
+                if self.st.ops.is_empty()
+                    && self.st.defers.is_empty()
+                    && world.crmr.consumer_idle(id)
+                {
                     // Build the successor before adopting: adoption may
                     // finalize the reconfig and erase `new_n_cr`.
                     let mut cr = CrState::new(world.cfg.workers, new_n_cr, id, &world.crmr);
@@ -911,6 +1031,17 @@ impl MrStage {
         let st = &mut self.st;
 
         if st.ops.is_empty() {
+            // Write-path backpressure: with too many commit groups awaiting
+            // durability, wait for the oldest device write instead of
+            // pulling more work (bounds both memory and ack latency).
+            if let Some(tier) = world.tier.as_ref() {
+                if st.defers.len() >= tier.cfg.defer_max {
+                    if let Some(t) = tier.next_commit() {
+                        ctx.advance_to(t);
+                    }
+                    return false;
+                }
+            }
             if world.crmr.is_shared() {
                 st.scratch.clear();
                 let got = world.crmr.pop_shared(ctx, &mut st.scratch, world.cfg.batch);
@@ -922,6 +1053,7 @@ impl MrStage {
                         seq: d.seq,
                         op,
                         done: false,
+                        cold: None,
                         started: popped_at,
                     });
                 }
@@ -929,6 +1061,11 @@ impl MrStage {
                     let reg = &mut ctx.machine().registry;
                     reg.hist_record("mr.batch_size", got as u64);
                     reg.hist_record("mr.interleave_depth", st.ops.len() as u64);
+                } else if !st.defers.is_empty() {
+                    // Nothing to pop and groups in flight: wait on the device.
+                    if let Some(t) = world.tier.as_ref().and_then(|t| t.next_commit()) {
+                        ctx.advance_to(t);
+                    }
                 }
                 return false;
             }
@@ -956,6 +1093,7 @@ impl MrStage {
                             seq: d.seq,
                             op,
                             done: false,
+                            cold: None,
                             started: popped_at,
                         });
                     }
@@ -967,57 +1105,128 @@ impl MrStage {
                 ctx.machine()
                     .registry
                     .hist_record("mr.interleave_depth", depth);
+            } else if !st.defers.is_empty() {
+                // Nothing to pop and groups in flight: wait on the device.
+                if let Some(t) = world.tier.as_ref().and_then(|t| t.next_commit()) {
+                    ctx.advance_to(t);
+                }
             }
             return false;
         }
 
         // Interleave the batch: poll each live op once (coroutine switch).
+        // Ops parked on a cold-tier device read resolve here once the read
+        // completes.
         let mut all_done = true;
+        let mut cold_next: Option<SimTime> = None;
+        let mut live_fsm = false;
         for i in 0..st.ops.len() {
             if st.ops[i].done {
                 continue;
             }
-            ctx.fsm_switch();
-            match st.ops[i].op.poll(ctx, &mut world.store) {
-                Step::Done(out) => {
-                    st.ops[i].done = true;
-                    let trav_ns = ctx.now().since(st.ops[i].started) / utps_sim::time::NANOS;
-                    ctx.machine()
-                        .registry
-                        .hist_record("mr.traversal_ns", trav_ns);
-                    let seq = st.ops[i].seq;
-                    // A delete must tombstone the hot cache at *execution*
-                    // time, not just at CR forward time: while the delete sat
-                    // in the CR→MR queue the manager's periodic refresh may
-                    // have re-cached the key (its index entry still existed),
-                    // and once the MR removes it from the index that cache
-                    // entry would serve the dead item forever. Puts are safe:
-                    // they update the existing item in place, so a cached
-                    // ItemId stays valid.
-                    if world.cfg.cache_enabled && out.ok {
-                        let req = world.ring.request(seq);
-                        if matches!(req.op, Op::Delete { .. }) {
-                            let key = req.op.key();
-                            world.hot.invalidate(ctx, key);
+            let seq = st.ops[i].seq;
+            let out = if st.ops[i].cold.is_some() {
+                let ready = st.ops[i].cold.as_ref().expect("checked above").0;
+                if ctx.now() < ready {
+                    all_done = false;
+                    cold_next = Some(cold_next.map_or(ready, |m: SimTime| m.min(ready)));
+                    continue;
+                }
+                // Device read complete: stage the cold value into this
+                // worker's response buffer like any MR get hit.
+                let (_, v) = st.ops[i].cold.take().expect("checked above");
+                let len = v.len();
+                let payload = ctx.machine().payloads.alloc(v.into_boxed_slice());
+                ctx.write(world.resp.addr_for(id, seq), len);
+                KvOpOutput {
+                    ok: true,
+                    value: Some(payload),
+                    scan_count: 0,
+                    payload: 0,
+                }
+            } else {
+                ctx.fsm_switch();
+                match st.ops[i].op.poll(ctx, &mut world.store) {
+                    Step::Done(out) => {
+                        match tier_finish(ctx, world, &mut st.ops[i], &mut st.wal_buf, out) {
+                            Some(out) => out,
+                            None => {
+                                // Parked on a cold-tier read.
+                                all_done = false;
+                                if let Some((ready, _)) = st.ops[i].cold {
+                                    cold_next =
+                                        Some(cold_next.map_or(ready, |m: SimTime| m.min(ready)));
+                                }
+                                continue;
+                            }
                         }
                     }
-                    let resp_addr = world.resp.addr_for(id, seq);
-                    let resp = build_response(world.ring.request(seq), out, resp_addr);
-                    world.ring.complete(seq, resp);
-                    if world.crmr.is_shared() {
-                        let owner = world.owner_of(seq);
-                        world.crmr.complete_shared(ctx, owner, seq);
+                    Step::Ready | Step::Blocked => {
+                        all_done = false;
+                        live_fsm = true;
+                        continue;
                     }
                 }
-                Step::Ready => {
-                    all_done = false;
+            };
+            st.ops[i].done = true;
+            let trav_ns = ctx.now().since(st.ops[i].started) / utps_sim::time::NANOS;
+            ctx.machine()
+                .registry
+                .hist_record("mr.traversal_ns", trav_ns);
+            // A delete must tombstone the hot cache at *execution*
+            // time, not just at CR forward time: while the delete sat
+            // in the CR→MR queue the manager's periodic refresh may
+            // have re-cached the key (its index entry still existed),
+            // and once the MR removes it from the index that cache
+            // entry would serve the dead item forever. Puts are safe:
+            // they update the existing item in place, so a cached
+            // ItemId stays valid.
+            if world.cfg.cache_enabled && out.ok {
+                let req = world.ring.request(seq);
+                if matches!(req.op, Op::Delete { .. }) {
+                    let key = req.op.key();
+                    world.hot.invalidate(ctx, key);
                 }
-                Step::Blocked => {
-                    all_done = false;
+            }
+            let resp_addr = world.resp.addr_for(id, seq);
+            let resp = build_response(world.ring.request(seq), out, resp_addr);
+            world.ring.complete(seq, resp);
+            if world.crmr.is_shared() {
+                if world.tier.is_some() {
+                    // Held behind the durability barrier with the batch.
+                    st.shared_done.push(seq);
+                } else {
+                    let owner = world.owner_of(seq);
+                    world.crmr.complete_shared(ctx, owner, seq);
                 }
             }
         }
-        if all_done && world.crmr.is_shared() {
+        if let Some(tier) = world.tier.as_mut().filter(|_| all_done) {
+            // Super-batch retired: seal its WAL records as one commit group
+            // and hold every completion (reads included — they may have
+            // observed earlier un-durable writes) behind the barrier.
+            if !st.wal_buf.is_empty() {
+                let records = core::mem::take(&mut st.wal_buf);
+                // Group encode: header plus record copies into the log tail.
+                ctx.compute_ns(60 + 8 * records.len() as u64);
+                tier.seal_group(&records, ctx.now());
+            }
+            let need_seq = tier.last_applied();
+            let mut lanes = Vec::new();
+            for p in 0..world.cfg.workers {
+                if st.lane_pop[p] > 0 {
+                    lanes.push((p, st.lane_pop[p] as u64));
+                    st.lane_pop[p] = 0;
+                }
+            }
+            let shared = core::mem::take(&mut st.shared_done);
+            st.defers.push_back(TierDefer {
+                need_seq,
+                lanes,
+                shared,
+            });
+            st.ops.clear();
+        } else if all_done && world.crmr.is_shared() {
             st.ops.clear();
         } else if all_done {
             // Whole super-batch finished: advance lane tail counters
@@ -1030,9 +1239,98 @@ impl MrStage {
                 }
             }
             st.ops.clear();
+        } else if !live_fsm {
+            // Only cold-read waiters remain: jump to the earliest device
+            // completion instead of spinning.
+            if let Some(t) = cold_next {
+                ctx.advance_to(t);
+            }
         }
         false
     }
+}
+
+/// Tier bookkeeping when an MR op's state machine completes: releases the
+/// active-key guard, appends WAL records for applied writes, serves get
+/// misses from the cold run (parking the op on the simulated device read),
+/// and upgrades deletes of run-only keys to successes. Returns `None` when
+/// the op parked on a cold read (its `cold` field is armed); the caller
+/// must not mark it done. No-op passthrough without the tier.
+fn tier_finish(
+    ctx: &mut Ctx<'_>,
+    world: &mut UtpsWorld,
+    active: &mut ActiveOp,
+    wal_buf: &mut Vec<utps_wal::WalRecord>,
+    mut out: KvOpOutput,
+) -> Option<KvOpOutput> {
+    if world.tier.is_none() {
+        return Some(out);
+    }
+    let (client, client_seq, key, is_put, is_delete, is_get, is_scan) = {
+        let req = world.ring.request(active.seq);
+        (
+            req.client,
+            req.seq,
+            req.op.key(),
+            matches!(req.op, Op::Put { .. }),
+            matches!(req.op, Op::Delete { .. }),
+            matches!(req.op, Op::Get { .. }),
+            matches!(req.op, Op::Scan { .. }),
+        )
+    };
+    // Snapshot the just-applied value before borrowing the tier: the put's
+    // write is the most recent mutation of this key, so the current value
+    // is exactly what must be logged.
+    let put_value = if is_put && out.ok {
+        world.store.get_native(key).map(<[u8]>::to_vec)
+    } else {
+        None
+    };
+    let tier = world.tier.as_mut().expect("checked above");
+    if is_scan {
+        tier.scan_dec();
+        return Some(out);
+    }
+    tier.active_dec(key);
+    if let Some(value) = put_value {
+        // Copy the record into the group-commit buffer.
+        ctx.compute_ns(10 + value.len() as u64 / 16);
+        wal_buf.push(utps_wal::WalRecord {
+            wal_seq: tier.next_seq(),
+            client,
+            client_seq,
+            key,
+            op: utps_wal::WalOp::Put,
+            value,
+        });
+    } else if is_delete {
+        let cold_only = !out.ok && tier.cold_get(key).is_some();
+        if out.ok || cold_only {
+            // Kill any run copy; log the delete. A delete that missed DRAM
+            // but hit the run succeeds by tombstone alone — the run is
+            // immutable, so no device write beyond the WAL is needed.
+            tier.tombstone(key);
+            ctx.compute_ns(10);
+            wal_buf.push(utps_wal::WalRecord {
+                wal_seq: tier.next_seq(),
+                client,
+                client_seq,
+                key,
+                op: utps_wal::WalOp::Delete,
+                value: Vec::new(),
+            });
+            out.ok = true;
+        }
+    } else if is_get && !out.ok {
+        if let Some(v) = tier.cold_get(key) {
+            // Cold hit: park on the device read. The value snapshot is
+            // taken now — compaction may replace the run before it lands.
+            let ready = tier.device.read(v.len(), ctx.now());
+            active.cold = Some((ready, v));
+            return None;
+        }
+    }
+    Some(out)
 }
 
 impl Stage<UtpsWorld> for MrStage {
@@ -1052,6 +1350,12 @@ impl Stage<UtpsWorld> for MrStage {
 }
 
 /// Sends the response for a locally served request and frees the slot.
+/// With the durable tier enabled the ack is *not* sent: the hot path may
+/// have observed writes applied in place whose commit group is still in
+/// flight, so the caller must hold the returned `(need_seq, response,
+/// started)` behind the durability barrier (dedup is recorded at actual
+/// send, so a retransmit meanwhile re-executes idempotently rather than
+/// being answered from an un-durable ack).
 fn finish_local(
     ctx: &mut Ctx<'_>,
     world: &mut UtpsWorld,
@@ -1059,20 +1363,24 @@ fn finish_local(
     seq: u64,
     out: KvOpOutput,
     started: SimTime,
-) {
+) -> Option<(u64, Response, SimTime)> {
     let resp_addr = world.resp.addr_for(id, seq);
     let resp = build_response(world.ring.request(seq), out, resp_addr);
     world.ring.abort(seq);
-    world.stats.responses += 1;
-    world.dedup.record(resp.client, resp.seq);
     if let Some(cl) = &world.cluster {
         cl.op_end(seq);
     }
+    if let Some(tier) = &world.tier {
+        return Some((tier.last_applied(), resp, started));
+    }
+    world.stats.responses += 1;
+    world.dedup.record(resp.client, resp.seq);
     let hit_ns = ctx.now().since(started) / utps_sim::time::NANOS;
     let reg = &mut ctx.machine().registry;
     reg.counter_inc("cr.response");
     reg.hist_record("cr.hit_path_ns", hit_ns);
     send_response(ctx, &mut world.fabric, resp_addr, resp);
+    None
 }
 
 /// A PUT whose receive slot carries no payload is a protocol error, not a
@@ -1099,6 +1407,15 @@ fn align_cursor(from: u64, id: usize, n: usize) -> u64 {
 /// it directly, so the CR layer never touches those lines. Put payloads are
 /// *moved* out of the receive slot's arena handle, never copied.
 fn build_mr_op(ctx: &mut Ctx<'_>, world: &mut UtpsWorld, consumer: usize, d: Desc) -> KvOp {
+    // Pin the key against tier eviction while a multi-step FSM may hold its
+    // ItemId (scans pin compaction entirely: their descent holds interior
+    // node positions across the whole range).
+    if let Some(tier) = world.tier.as_mut() {
+        match d.kind {
+            OpKind::Scan => tier.scan_inc(),
+            _ => tier.active_inc(d.key),
+        }
+    }
     let bufs = OpBuffers {
         recv_addr: world.ring.slot_addr(d.seq),
         resp_addr: world.resp.addr_for(consumer, d.seq),

@@ -45,6 +45,23 @@ impl KvStore {
         }
     }
 
+    /// Builds a store from explicit key/value pairs (crash recovery: the
+    /// replayed WAL-over-run image). Keys must be unique; order is free.
+    pub fn from_items<I>(kind: IndexKind, items_iter: I) -> Self
+    where
+        I: IntoIterator<Item = (u64, Vec<u8>)>,
+    {
+        let mut items = ItemStore::new();
+        let pairs: Vec<(u64, ItemId)> = items_iter
+            .into_iter()
+            .map(|(k, v)| (k, items.alloc(&v)))
+            .collect();
+        KvStore {
+            index: Index::from_pairs(kind, pairs),
+            items,
+        }
+    }
+
     /// Uncharged read of a key's current value (verification).
     pub fn get_native(&self, key: u64) -> Option<&[u8]> {
         self.index.get_native(key).map(|id| self.items.value(id))

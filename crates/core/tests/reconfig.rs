@@ -57,6 +57,7 @@ fn build_engine(workers: usize, n_cr: usize) -> (Engine<UtpsWorld>, RunConfig) {
         tuner_probes: Vec::new(),
         dedup: utps_core::retry::DedupTable::new(cfg.clients, false),
         cluster: None,
+        tier: None,
     };
     let mut eng = Engine::new(cfg.machine.clone(), cfg.workers + 1, world);
     for id in 0..cfg.workers {

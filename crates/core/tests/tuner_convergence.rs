@@ -57,6 +57,7 @@ fn build_world() -> UtpsWorld {
         tuner_probes: Vec::new(),
         dedup: utps_core::retry::DedupTable::new(1, false),
         cluster: None,
+        tier: None,
     }
 }
 

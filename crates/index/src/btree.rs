@@ -181,6 +181,22 @@ impl BplusTree {
         }
     }
 
+    /// Uncharged removal for host-side maintenance (compaction/recovery);
+    /// leaf-local like [`TreeRemove`] — no rebalancing.
+    pub fn remove_native(&mut self, key: u64) -> Option<ItemId> {
+        let mut n = self.root;
+        loop {
+            if self.nodes[n].leaf {
+                let s = self.nodes[n].leaf_slot(key)?;
+                let item = self.nodes[n].ptrs[s];
+                self.nodes[n].remove_at(s);
+                self.len -= 1;
+                return Some(item);
+            }
+            n = self.nodes[n].ptrs[self.nodes[n].child_for(key)];
+        }
+    }
+
     /// Per-level node counts from root to leaves (diagnostics: shows the
     /// shape bulk load and splits produced).
     pub fn level_widths(&self) -> Vec<usize> {

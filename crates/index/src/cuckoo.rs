@@ -167,6 +167,19 @@ impl CuckooMap {
         None
     }
 
+    /// Uncharged removal for host-side maintenance (compaction/recovery).
+    pub fn remove_native(&mut self, key: u64) -> Option<ItemId> {
+        for b in [self.b1(key), self.b2(key)] {
+            if let Some(s) = self.buckets[b].find(key) {
+                let item = self.buckets[b].items[s];
+                self.buckets[b].items[s] = EMPTY;
+                self.len -= 1;
+                return Some(item);
+            }
+        }
+        None
+    }
+
     /// Uncharged, lock-free insert for bulk loading.
     ///
     /// # Panics

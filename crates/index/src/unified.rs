@@ -98,6 +98,14 @@ impl Index {
             Index::Tree(t) => t.get_native(key),
         }
     }
+
+    /// Uncharged removal for host-side maintenance (compaction/recovery).
+    pub fn remove_native(&mut self, key: u64) -> Option<ItemId> {
+        match self {
+            Index::Hash(m) => m.remove_native(key),
+            Index::Tree(t) => t.remove_native(key),
+        }
+    }
 }
 
 /// Unified resumable lookup.

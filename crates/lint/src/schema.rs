@@ -43,6 +43,10 @@ pub const METRIC_SCHEMA: &[&str] = &[
     "crmr.lease_reclaim",
     "crmr.pushed",
     "crmr.shared_hwm",
+    // Simulated persistence device (PR 9): read/write op tallies folded
+    // into the snapshot only when the tier is enabled.
+    "device.reads",
+    "device.writes",
     // Engine scheduler internals (PR 8): burst fast-path steps and
     // timer-wheel cascade operations. Maintained by the engine itself and
     // surfaced through `RunResult`/`utps-bench`; never folded into
@@ -78,8 +82,21 @@ pub const METRIC_SCHEMA: &[&str] = &[
     "server.forwarded",
     "server.malformed_req",
     "server.responses",
+    // Durable tier (PR 9): cold-path and compaction tallies, folded into
+    // the snapshot only when the tier is enabled — tier-less snapshots stay
+    // byte-identical to the pre-tier goldens.
+    "tier.cold_hit",
+    "tier.cold_miss",
+    "tier.compactions",
+    "tier.evicted",
+    "tier.run_items",
+    "tier.tombstones",
     // Tuner.
     "tuner.frozen_windows",
+    // Write-ahead log group commit (PR 9); tier runs only.
+    "wal.bytes",
+    "wal.groups",
+    "wal.records",
 ];
 
 /// Is `name` a pinned metric name?

@@ -158,6 +158,20 @@ impl History {
         self.open.remove(&(client, seq));
     }
 
+    /// Appends every record of `other` with its timestamps shifted forward
+    /// by `shift_ps` — stitching a post-recovery run onto its pre-crash
+    /// prefix as one observable history. Pending records stay pending (their
+    /// windows extend past the crash: a timed-out op may have executed and
+    /// survived recovery), and are not reopened for response matching.
+    pub fn append_shifted(&mut self, other: &History, shift_ps: u64) {
+        for r in other.records() {
+            let mut r = r.clone();
+            r.invoke_ps += shift_ps;
+            r.response_ps = r.response_ps.map(|t| t + shift_ps);
+            self.records.push(r);
+        }
+    }
+
     /// Deterministic digest over the full history, in append order. Two runs
     /// with identical interleavings produce identical digests, so goldens on
     /// this value catch interleaving-visible regressions that aggregate

@@ -30,6 +30,7 @@
 pub mod arena;
 pub mod cache;
 pub mod config;
+pub mod device;
 pub mod engine;
 pub mod fault;
 pub mod lock;

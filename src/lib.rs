@@ -53,19 +53,22 @@ pub use utps_core as core;
 pub use utps_index as index;
 pub use utps_oracle as oracle;
 pub use utps_sim as sim;
+pub use utps_wal as wal;
 pub use utps_workload as workload;
 
 /// The most common imports for driving experiments.
 pub mod prelude {
-    pub use utps_baselines::run;
+    pub use utps_baselines::{run, run_basekv_crash};
     pub use utps_cluster::{run_cluster, ClusterConfig, LinkConfig, MigrationSpec, SizeClass};
     pub use utps_core::experiment::{run_utps, RunConfig, RunResult, SystemKind, WorkloadSpec};
     pub use utps_core::retry::RetryConfig;
     pub use utps_core::tuner::{TunerMode, TunerParams};
     pub use utps_core::KvStore;
+    pub use utps_core::{run_utps_crash, CrashReport, TierConfig};
     pub use utps_index::IndexKind;
     pub use utps_oracle::{InitialState, Report, Violation};
     pub use utps_sim::config::MachineConfig;
+    pub use utps_sim::device::DeviceConfig;
     pub use utps_sim::{
         shrink_schedule, FaultConfig, ScheduleConfig, ScheduleEvent, ScheduleMode, StallWindow,
     };

@@ -385,6 +385,80 @@ fn cluster_link_faults_preserve_exactly_once() {
 }
 
 #[test]
+fn crash_plus_device_fault_preserves_exactly_once() {
+    // The crash+device-fault cell: receive drops/dups riding on top of a
+    // mid-run power loss with the device's seeded torn-tail fault model.
+    // The exactly-once ledger must balance on *both sides* of the crash —
+    // requests in flight at the power loss are the only allowed gap, and
+    // they stay pending ("may have executed") rather than vanishing into a
+    // double execution, which the oracle over the combined history would
+    // catch as a dedup violation.
+    let faults = FaultConfig {
+        drop_prob: 0.01,
+        dup_prob: 0.005,
+        ..FaultConfig::default()
+    };
+    for (label, runner) in [
+        (
+            "utps-h",
+            run_utps_crash as fn(&RunConfig, u64) -> CrashReport,
+        ),
+        (
+            "basekv",
+            run_basekv_crash as fn(&RunConfig, u64) -> CrashReport,
+        ),
+    ] {
+        let cfg = RunConfig {
+            workers: 4,
+            clients: 8,
+            hot_capacity: 500,
+            oracle: true,
+            tier: Some(TierConfig {
+                dram_items_max: 15_000,
+                evict_batch: 256,
+                compact_every_ps: 100 * MICROS,
+                ..Default::default()
+            }),
+            ..chaos_cfg(IndexKind::Hash, faults.clone())
+        };
+        let rep = runner(&cfg, cfg.warmup + cfg.duration / 2);
+        let window = (cfg.clients * cfg.pipeline) as u64;
+        for (phase, issued, completed, failed) in [
+            ("pre", rep.pre_issued, rep.pre_completed, rep.pre_failed),
+            ("post", rep.post_issued, rep.post_completed, rep.post_failed),
+        ] {
+            let tag = format!("{label}/crash+device-fault/{phase}");
+            let resolved = completed + failed;
+            assert!(
+                resolved <= issued,
+                "{tag}: resolved {resolved} > issued {issued}"
+            );
+            assert!(
+                issued - resolved <= window,
+                "{tag}: {} requests vanished (window is {window})",
+                issued - resolved
+            );
+            assert!(completed > 0, "{tag}: no requests completed");
+        }
+        assert!(
+            rep.pending_at_crash as u64 <= window,
+            "{label}: {} ops pending at the crash exceed the closed-loop \
+             window {window}",
+            rep.pending_at_crash
+        );
+        assert!(
+            rep.acked_preserved,
+            "{label}: durable-ack invariant violated"
+        );
+        assert!(
+            rep.oracle.ok(),
+            "{label}: combined history not linearizable: {:#?}",
+            rep.oracle.violations
+        );
+    }
+}
+
+#[test]
 fn tuner_freezes_under_fault_pressure() {
     // With faults active inside a window the tuner must hold its
     // configuration instead of chasing fault-skewed measurements.

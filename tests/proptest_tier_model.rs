@@ -1,0 +1,214 @@
+//! Property test for the cold tier: arbitrary interleavings of point ops
+//! and compaction passes over a small keyspace must agree with a flat
+//! `BTreeMap` model, no matter how eviction slices the keys between the
+//! DRAM store and the sorted run.
+//!
+//! The tier under test uses an aggressively tiny DRAM budget
+//! (`dram_items_max = 8` over a 32-key space) so nearly every compaction
+//! pass evicts, every run seal folds old-run survivors with fresh
+//! evictions, and reads constantly cross the DRAM/run boundary. Deletes
+//! follow the server's semantics: the ack is `ok` when the key lived in
+//! DRAM *or* only in the run, and either way a tombstone shadows the run
+//! copy until the next seal omits it.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use utps_core::store::{KvOp, KvOpOutput, KvStore, OpBuffers};
+use utps_core::tier::{compact_pass, TierConfig, TierState};
+use utps_index::{IndexKind, Step};
+use utps_sim::time::SimTime;
+use utps_sim::{Ctx, Engine, MachineConfig, Process, StatClass, StepOutcome};
+
+const BUFS: OpBuffers = OpBuffers {
+    recv_addr: 0x10_0000,
+    resp_addr: 0x20_0000,
+};
+const KEYS: u64 = 32;
+const POP: u64 = 24;
+const LEN: usize = 16;
+
+/// One generated operation against the tiered store.
+#[derive(Clone, Debug)]
+enum TierOp {
+    Put(u64, u8, usize),
+    Delete(u64),
+    Get(u64),
+    Compact,
+}
+
+fn op_strategy() -> impl Strategy<Value = TierOp> {
+    prop_oneof![
+        (0..KEYS, 1u8..=255, 1usize..48).prop_map(|(k, f, n)| TierOp::Put(k, f, n)),
+        (0..KEYS).prop_map(TierOp::Delete),
+        (0..KEYS).prop_map(TierOp::Get),
+        (0..KEYS).prop_map(|_| TierOp::Compact),
+    ]
+}
+
+struct TierWorld {
+    store: KvStore,
+    tier: TierState,
+}
+
+/// Runs `f` inside a one-shot simulated process over the tiered world.
+fn with_world(world: TierWorld, f: impl FnOnce(&mut Ctx<'_>, &mut TierWorld) + 'static) {
+    struct Once<F> {
+        f: Option<F>,
+    }
+    impl<F: FnOnce(&mut Ctx<'_>, &mut TierWorld)> Process<TierWorld> for Once<F> {
+        fn step(&mut self, ctx: &mut Ctx<'_>, world: &mut TierWorld) -> StepOutcome {
+            if let Some(f) = self.f.take() {
+                f(ctx, world);
+            }
+            ctx.halt();
+            StepOutcome::Idle
+        }
+    }
+    let mut eng = Engine::new(MachineConfig::tiny(), 1, world);
+    eng.spawn(Some(0), StatClass::Other, Box::new(Once { f: Some(f) }));
+    eng.run_until(SimTime::from_millis(1_000));
+}
+
+fn drive(ctx: &mut Ctx<'_>, store: &mut KvStore, op: &mut KvOp) -> KvOpOutput {
+    loop {
+        match op.poll(ctx, store) {
+            Step::Done(v) => return v,
+            Step::Ready => {}
+            Step::Blocked => panic!("blocked in single-process property test"),
+        }
+    }
+}
+
+/// The tiered read path as one map: DRAM shadows the run, tombstones
+/// shadow the run's copy of deleted keys.
+fn effective(world: &mut TierWorld, key: u64) -> Option<Vec<u8>> {
+    if let Some(v) = world.store.get_native(key) {
+        return Some(v.to_vec());
+    }
+    world.tier.cold_get(key)
+}
+
+fn check_tier_model(ops: Vec<TierOp>) {
+    let store = KvStore::populate(IndexKind::Tree, POP, LEN);
+    let tier = TierState::new(
+        TierConfig {
+            dram_items_max: 8,
+            evict_batch: 4,
+            ..Default::default()
+        },
+        42,
+    );
+    let mut model: BTreeMap<u64, Vec<u8>> = (0..POP).map(|k| (k, vec![0xab; LEN])).collect();
+    with_world(TierWorld { store, tier }, move |ctx, w| {
+        for op in ops {
+            match op {
+                TierOp::Put(k, fill, len) => {
+                    let value = vec![fill; len];
+                    let mut op = KvOp::put(&w.store, k, value.clone().into_boxed_slice(), BUFS);
+                    assert!(drive(ctx, &mut w.store, &mut op).ok, "put {k}");
+                    model.insert(k, value);
+                }
+                TierOp::Delete(k) => {
+                    let mut op = KvOp::delete(&w.store, k, BUFS);
+                    let out = drive(ctx, &mut w.store, &mut op);
+                    let cold_only = !out.ok && w.tier.cold_get(k).is_some();
+                    if out.ok || cold_only {
+                        w.tier.tombstone(k);
+                    }
+                    assert_eq!(
+                        out.ok || cold_only,
+                        model.remove(&k).is_some(),
+                        "delete {k}"
+                    );
+                }
+                TierOp::Get(k) => {
+                    let mut op = KvOp::get(&w.store, k, BUFS);
+                    let out = drive(ctx, &mut w.store, &mut op);
+                    let got = if out.ok {
+                        let v = out.value.expect("ok get returns bytes");
+                        let bytes = ctx.machine().payloads.get(v).to_vec();
+                        ctx.machine().payloads.free(v);
+                        Some(bytes)
+                    } else {
+                        w.tier.cold_get(k)
+                    };
+                    assert_eq!(got.as_deref(), model.get(&k).map(|v| &v[..]), "get {k}");
+                }
+                TierOp::Compact => {
+                    compact_pass(&mut w.tier, &mut w.store, None, KEYS, ctx);
+                    // A seal folds the tombstones into the omitted keys.
+                    for k in 0..KEYS {
+                        assert_eq!(
+                            effective(w, k).as_deref(),
+                            model.get(&k).map(|v| &v[..]),
+                            "post-compaction key {k}"
+                        );
+                    }
+                }
+            }
+        }
+        // Final full-sweep equivalence across both tiers.
+        for k in 0..KEYS {
+            assert_eq!(
+                effective(w, k).as_deref(),
+                model.get(&k).map(|v| &v[..]),
+                "final state key {k}"
+            );
+        }
+        // Every model item is in DRAM or the run; nothing beyond the model
+        // count survives in DRAM (the run may hold shadowed stale copies).
+        assert!(w.store.len() <= model.len(), "DRAM holds deleted items");
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Tiered reads/writes/deletes interleaved with compaction passes match
+    /// the BTreeMap model key-for-key after every seal.
+    #[test]
+    fn tiered_ops_match_btreemap_model(ops in vec(op_strategy(), 1..160)) {
+        check_tier_model(ops);
+    }
+}
+
+/// A deterministic regression for the trickiest interleaving: a key is
+/// evicted to the run, deleted cold (tombstone), re-put into DRAM, and the
+/// next seal must carry the *new* value — not resurrect the old run copy,
+/// not lose the key to the stale tombstone.
+#[test]
+fn tombstone_then_reput_survives_compaction() {
+    let store = KvStore::populate(IndexKind::Tree, POP, LEN);
+    let tier = TierState::new(
+        TierConfig {
+            dram_items_max: 0,
+            evict_batch: POP as usize,
+            ..Default::default()
+        },
+        7,
+    );
+    with_world(TierWorld { store, tier }, |ctx, w| {
+        // Everything evicts: key 3 now lives only in the run.
+        compact_pass(&mut w.tier, &mut w.store, None, KEYS, ctx);
+        assert_eq!(w.store.len(), 0);
+        assert_eq!(w.tier.run_items(), POP);
+        assert!(w.tier.cold_get(3).is_some());
+
+        // Cold delete: tombstone shadows the run copy immediately.
+        w.tier.tombstone(3);
+        assert!(w.tier.cold_get(3).is_none());
+
+        // Re-put while the tombstone is still live.
+        let mut op = KvOp::put(&w.store, 3, vec![0x5a; 8].into_boxed_slice(), BUFS);
+        assert!(drive(ctx, &mut w.store, &mut op).ok);
+        assert_eq!(effective(w, 3).as_deref(), Some(&[0x5a; 8][..]));
+
+        // The next seal evicts the fresh copy and clears the tombstone; the
+        // new value must win over both the stale run entry and the shadow.
+        compact_pass(&mut w.tier, &mut w.store, None, KEYS, ctx);
+        assert_eq!(w.store.len(), 0);
+        assert_eq!(w.tier.tombstone_count(), 0);
+        assert_eq!(w.tier.cold_get(3).as_deref(), Some(&[0x5a; 8][..]));
+    });
+}
