@@ -344,7 +344,9 @@ impl ShardHooks for RouterState {
 
     fn op_end(&mut self, shard: usize, seq: u64) {
         if let Some((class, slot)) = self.open.remove(&(shard, seq)) {
-            self.inflight[shard][class][slot] -= 1;
+            // Saturating: a topology epoch change can zero the gauges while
+            // ops opened under the old epoch are still in flight.
+            self.inflight[shard][class][slot] = self.inflight[shard][class][slot].saturating_sub(1);
         }
     }
 }

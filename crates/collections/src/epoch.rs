@@ -240,6 +240,11 @@ mod tests {
 
     #[test]
     fn concurrent_readers_and_writer() {
+        // Miri executes every interleaving step interpreted; the full-size
+        // stress run takes minutes there without finding anything the small
+        // run would not. Same shape, fewer iterations.
+        let reads: u64 = if cfg!(miri) { 200 } else { 10_000 };
+        let writes: u64 = if cfg!(miri) { 50 } else { 1_000 };
         let cell = shared(0u64);
         let mut handles = Vec::new();
         for slot in 0..4 {
@@ -247,14 +252,14 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 let h = cell.register_reader(slot);
                 let mut last = 0;
-                for _ in 0..10_000 {
+                for _ in 0..reads {
                     let v = *h.pin();
                     assert!(v >= last, "time went backwards: {v} < {last}");
                     last = v;
                 }
             }));
         }
-        for i in 1..=1_000 {
+        for i in 1..=writes {
             cell.replace(i);
         }
         for h in handles {

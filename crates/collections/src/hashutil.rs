@@ -105,8 +105,11 @@ mod tests {
 
     #[test]
     fn mix64_has_no_trivial_collisions() {
+        // 100k HashSet inserts take minutes under Miri's interpreter; the
+        // small prefix still catches any low-bit-only mixing regression.
+        let n: u64 = if cfg!(miri) { 5_000 } else { 100_000 };
         let mut seen = std::collections::HashSet::new();
-        for i in 0..100_000u64 {
+        for i in 0..n {
             assert!(seen.insert(mix64(i)), "collision at {i}");
         }
     }

@@ -257,7 +257,11 @@ mod tests {
 
     #[test]
     fn multi_producer_multi_consumer_stress() {
-        const PER_PRODUCER: u64 = 20_000;
+        // Shrunk under Miri: interpreted execution makes the full run take
+        // minutes; the interleaving coverage comes from the thread shape,
+        // not the element count.
+        #[allow(non_snake_case)]
+        let PER_PRODUCER: u64 = if cfg!(miri) { 300 } else { 20_000 };
         let q = Arc::new(MpmcQueue::new(256));
         let mut producers = Vec::new();
         for p in 0..2u64 {

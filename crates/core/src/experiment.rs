@@ -737,7 +737,7 @@ pub fn render_timeline(samples: &[(SimTime, u64)], interval: u64) -> Vec<(f64, f
     let mut out = Vec::with_capacity(samples.len());
     let mut prev = 0u64;
     for &(t, total) in samples {
-        let delta = total - prev;
+        let delta = total.saturating_sub(prev);
         prev = total;
         let mops = delta as f64 / (interval as f64 / SECS as f64) / 1e6;
         out.push((t.as_secs_f64(), mops));

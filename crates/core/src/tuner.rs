@@ -319,7 +319,7 @@ impl Tuner {
             return;
         }
         let total = world.driver.completed_total();
-        let tp = (total - self.last_total) as f64;
+        let tp = total.saturating_sub(self.last_total) as f64;
         self.last_total = total;
         self.window_end = now + self.params.window;
         // Freeze guard: a window disturbed by injected faults (drops, stalls,
@@ -432,7 +432,8 @@ impl Tuner {
                         }
                         Some(until) if now < until => return,
                         Some(_) => {
-                            let tp = (world.driver.completed_total() - p.start_total) as f64;
+                            let tp =
+                                world.driver.completed_total().saturating_sub(p.start_total) as f64;
                             finished = Some((p.value, tp, true));
                             search.pending = None;
                         }

@@ -1,0 +1,733 @@
+//! Per-function control-flow graphs recovered from the token stream.
+//!
+//! The linear-ownership analysis in [`crate::dataflow`] needs to know which
+//! statements can follow which: a `PayloadArena::free` inside one `if` arm
+//! does not cover the other arm, a `?` can leave the function early with a
+//! handle still live, and a consume inside a loop body can run twice. This
+//! module recovers exactly that much structure — no types, no expressions,
+//! just blocks and edges — from the comment-free token stream the parser
+//! already produces.
+//!
+//! Recognised control constructs: `if` / `else if` / `else` (including
+//! `if let`), `match` with its arms, `loop` / `while` / `while let` / `for`
+//! (back edge + exit edge), `return`, `break` / `continue` (to the innermost
+//! loop), and the `?` operator (a may-exit edge at the use site). Everything
+//! else — struct literals, nested braces, closures — flows through the
+//! current block linearly, which over-approximates reachability and is
+//! therefore safe for the may-analyses built on top.
+//!
+//! Block 0 is the entry, block 1 the synthetic exit; every `return`, `?`,
+//! and the natural fall-off of the body edge into it.
+
+use crate::lexer::TokKind;
+use crate::parser::FileData;
+
+/// One statement-ish unit inside a block.
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    /// Linear run of code tokens `[start, end)` (indices into `FileData::code`).
+    Range(usize, usize),
+    /// A pattern binding introduced by `if let` / `while let` / a match arm:
+    /// `var` becomes live in this block, bound from the scrutinee tokens
+    /// `scrut` (a code-token range, used to classify what was bound).
+    PatBind {
+        var: String,
+        line: u32,
+        col: u32,
+        scrut: (usize, usize),
+    },
+}
+
+/// Why a block exists — used to describe the path in reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockLabel {
+    Entry,
+    Exit,
+    /// `if` taken-branch opened at this line.
+    Then(u32),
+    /// `else` branch opened at this line.
+    Else(u32),
+    /// Implicit "no" path of an `if` without `else` (line of the `if`).
+    ElseImplicit(u32),
+    /// One `match` arm starting at this line.
+    Arm(u32),
+    /// Loop head (condition / iterator re-evaluation) at this line.
+    LoopHead(u32),
+    /// Loop body opened at this line.
+    LoopBody(u32),
+    /// Code after a control construct that started at this line.
+    After(u32),
+    /// Unreachable continuation after `return` / `break` / `continue`.
+    Dead(u32),
+}
+
+impl BlockLabel {
+    /// Human-readable path fragment (`else (line 12)`), if this block
+    /// represents a branch decision worth naming in a report.
+    pub fn describe(&self) -> Option<String> {
+        match self {
+            BlockLabel::Then(l) => Some(format!("then-branch (line {l})")),
+            BlockLabel::Else(l) => Some(format!("else-branch (line {l})")),
+            BlockLabel::ElseImplicit(l) => Some(format!("fall-through of the `if` at line {l}")),
+            BlockLabel::Arm(l) => Some(format!("match arm (line {l})")),
+            BlockLabel::LoopBody(l) => Some(format!("loop body (line {l})")),
+            _ => None,
+        }
+    }
+}
+
+/// A basic block.
+#[derive(Clone, Debug)]
+pub struct Block {
+    pub stmts: Vec<Stmt>,
+    pub succs: Vec<usize>,
+    pub label: BlockLabel,
+}
+
+/// A function body's control-flow graph.
+pub struct Cfg {
+    pub blocks: Vec<Block>,
+}
+
+/// Entry block id.
+pub const ENTRY: usize = 0;
+/// Synthetic exit block id.
+pub const EXIT: usize = 1;
+
+/// Builds the CFG for the body token range `body` (inclusive of both
+/// braces, as stored in [`crate::parser::FnItem::body`]).
+pub fn build(f: &FileData, body: (usize, usize)) -> Cfg {
+    let mut b = Builder {
+        f,
+        blocks: vec![
+            Block {
+                stmts: Vec::new(),
+                succs: Vec::new(),
+                label: BlockLabel::Entry,
+            },
+            Block {
+                stmts: Vec::new(),
+                succs: Vec::new(),
+                label: BlockLabel::Exit,
+            },
+        ],
+        loops: Vec::new(),
+    };
+    // Skip the opening and closing braces themselves.
+    let (s, e) = (body.0 + 1, body.1);
+    let last = b.walk(s, e.min(f.code.len()), ENTRY);
+    b.edge(last, EXIT);
+    Cfg { blocks: b.blocks }
+}
+
+struct Builder<'a> {
+    f: &'a FileData,
+    blocks: Vec<Block>,
+    /// Innermost-last stack of `(head, after)` block ids for `break`/`continue`.
+    loops: Vec<(usize, usize)>,
+}
+
+impl<'a> Builder<'a> {
+    fn t(&self, i: usize) -> &str {
+        self.f
+            .code
+            .get(i)
+            .map(|tok| &self.f.src[tok.start..tok.end])
+            .unwrap_or("")
+    }
+
+    fn line(&self, i: usize) -> u32 {
+        self.f.code.get(i).map(|t| t.line).unwrap_or(0)
+    }
+
+    fn new_block(&mut self, label: BlockLabel) -> usize {
+        self.blocks.push(Block {
+            stmts: Vec::new(),
+            succs: Vec::new(),
+            label,
+        });
+        self.blocks.len() - 1
+    }
+
+    fn edge(&mut self, from: usize, to: usize) {
+        if !self.blocks[from].succs.contains(&to) {
+            self.blocks[from].succs.push(to);
+        }
+    }
+
+    fn push_range(&mut self, block: usize, s: usize, e: usize) {
+        if s < e {
+            self.blocks[block].stmts.push(Stmt::Range(s, e));
+        }
+    }
+
+    /// Index just past the token matching the opener at `open` (`(`, `[`,
+    /// `{`). Tolerant of malformed input: runs to `end` if unbalanced.
+    fn find_close(&self, open: usize, end: usize) -> usize {
+        let (o, c) = match self.t(open) {
+            "(" => ("(", ")"),
+            "[" => ("[", "]"),
+            _ => ("{", "}"),
+        };
+        let mut depth = 0i32;
+        let mut i = open;
+        while i < end {
+            let tx = self.t(i);
+            if tx == o {
+                depth += 1;
+            } else if tx == c {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            i += 1;
+        }
+        end
+    }
+
+    /// Walks `[i, end)` appending to `cur`; returns the block control falls
+    /// out of (which may be a fresh, possibly-empty block).
+    fn walk(&mut self, mut i: usize, end: usize, mut cur: usize) -> usize {
+        let mut rs = i; // start of the pending linear range
+        while i < end {
+            // Owned: `walk` mutates `self.blocks` while matching on it.
+            let tx = self.t(i).to_string();
+            let is_kw = self.f.code[i].kind == TokKind::Ident;
+            match tx.as_str() {
+                "if" if is_kw => {
+                    self.push_range(cur, rs, i);
+                    let (ni, nc) = self.parse_if(i, end, cur);
+                    i = ni;
+                    rs = i;
+                    cur = nc;
+                }
+                "match" if is_kw => {
+                    self.push_range(cur, rs, i);
+                    let (ni, nc) = self.parse_match(i, end, cur);
+                    i = ni;
+                    rs = i;
+                    cur = nc;
+                }
+                "loop" | "while" | "for" if is_kw => {
+                    self.push_range(cur, rs, i);
+                    let (ni, nc) = self.parse_loop(i, end, cur);
+                    i = ni;
+                    rs = i;
+                    cur = nc;
+                }
+                "return" if is_kw => {
+                    // `return <expr>;` — expression tokens still execute.
+                    let mut j = i + 1;
+                    let mut depth = 0i32;
+                    while j < end {
+                        match self.t(j) {
+                            "(" | "[" | "{" => depth += 1,
+                            ")" | "]" | "}" => depth -= 1,
+                            ";" if depth == 0 => break,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    self.push_range(cur, rs, j.min(end));
+                    self.edge(cur, EXIT);
+                    cur = self.new_block(BlockLabel::Dead(self.line(i)));
+                    i = (j + 1).min(end);
+                    rs = i;
+                }
+                "break" | "continue" if is_kw => {
+                    self.push_range(cur, rs, i);
+                    if let Some(&(head, after)) = self.loops.last() {
+                        let to = if tx == "break" { after } else { head };
+                        self.edge(cur, to);
+                    } else {
+                        // Stray break outside a loop (or a labeled break the
+                        // label tracking does not model): treat as may-exit.
+                        self.edge(cur, EXIT);
+                    }
+                    cur = self.new_block(BlockLabel::Dead(self.line(i)));
+                    // Skip an optional label / value expression up to `;`,
+                    // `,` or the closing brace of the enclosing block.
+                    let mut j = i + 1;
+                    let mut depth = 0i32;
+                    while j < end {
+                        match self.t(j) {
+                            "(" | "[" | "{" => depth += 1,
+                            ")" | "]" | "}" if depth == 0 => break,
+                            ")" | "]" | "}" => depth -= 1,
+                            ";" | "," if depth == 0 => break,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    i = j;
+                    rs = i;
+                }
+                "?" => {
+                    // May-exit: close the block at the `?` so the exit edge
+                    // carries the facts *at this point*, then fall through
+                    // into a fresh block.
+                    self.push_range(cur, rs, i + 1);
+                    self.edge(cur, EXIT);
+                    let next = self.new_block(BlockLabel::After(self.line(i)));
+                    self.edge(cur, next);
+                    cur = next;
+                    i += 1;
+                    rs = i;
+                }
+                "{" => {
+                    // Plain block / struct literal / unsafe block: flatten
+                    // its contents into the current flow.
+                    self.push_range(cur, rs, i);
+                    let close = self.find_close(i, end);
+                    cur = self.walk(i + 1, close.saturating_sub(1).max(i + 1), cur);
+                    i = close;
+                    rs = i;
+                }
+                "}" => {
+                    // Unbalanced close (tolerated): stop here.
+                    self.push_range(cur, rs, i);
+                    return cur;
+                }
+                _ => i += 1,
+            }
+        }
+        self.push_range(cur, rs, end);
+        cur
+    }
+
+    /// Parses an `if` (or `if let`) chain starting at the `if` token.
+    /// Returns `(index past the construct, join block)`.
+    fn parse_if(&mut self, if_idx: usize, end: usize, cur: usize) -> (usize, usize) {
+        let if_line = self.line(if_idx);
+        let mut j = if_idx + 1;
+        let mut pat: Option<(String, u32, u32)> = None;
+        if self.t(j) == "let" {
+            // `if let <pat> = <scrut> {` — find the `=` at depth 0.
+            let mut k = j + 1;
+            let mut depth = 0i32;
+            let pat_start = k;
+            while k < end {
+                match self.t(k) {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "=" if depth == 0 && self.t(k + 1) != "=" => break,
+                    "{" if depth == 0 => break, // malformed; bail
+                    _ => {}
+                }
+                k += 1;
+            }
+            pat = self.single_binding(pat_start, k);
+            j = k + 1; // scrutinee starts after `=`
+        }
+        // Condition / scrutinee runs to the body `{` at depth 0.
+        let cond_start = j;
+        let mut depth = 0i32;
+        while j < end {
+            match self.t(j) {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let scrut = (cond_start, j);
+        self.push_range(cur, cond_start, j);
+
+        let body_close = self.find_close(j, end);
+        let then = self.new_block(BlockLabel::Then(if_line));
+        self.edge(cur, then);
+        if let Some((var, line, col)) = pat {
+            self.blocks[then].stmts.push(Stmt::PatBind {
+                var,
+                line,
+                col,
+                scrut,
+            });
+        }
+        let then_end = self.walk(j + 1, body_close.saturating_sub(1).max(j + 1), then);
+
+        let after = self.new_block(BlockLabel::After(if_line));
+        self.edge(then_end, after);
+
+        let mut i = body_close;
+        if self.t(i) == "else" && self.f.code.get(i).map(|t| t.kind) == Some(TokKind::Ident) {
+            let else_line = self.line(i);
+            if self.t(i + 1) == "if" {
+                // `else if …`: chain — parse it with `cur` as the branch
+                // point and join its join-block into ours.
+                let (ni, nested_join) = self.parse_if(i + 1, end, cur);
+                self.edge(nested_join, after);
+                i = ni;
+            } else if self.t(i + 1) == "{" {
+                let els = self.new_block(BlockLabel::Else(else_line));
+                self.edge(cur, els);
+                let close = self.find_close(i + 1, end);
+                let els_end = self.walk(i + 2, close.saturating_sub(1).max(i + 2), els);
+                self.edge(els_end, after);
+                i = close;
+            } else {
+                // Malformed `else` — fall through.
+                self.edge(cur, after);
+                i += 1;
+            }
+        } else {
+            // No else: the condition may be false.
+            let skip = self.new_block(BlockLabel::ElseImplicit(if_line));
+            self.edge(cur, skip);
+            self.edge(skip, after);
+        }
+        (i, after)
+    }
+
+    /// Parses a `match` starting at the `match` token. Returns
+    /// `(index past the construct, join block)`.
+    fn parse_match(&mut self, m_idx: usize, end: usize, cur: usize) -> (usize, usize) {
+        let m_line = self.line(m_idx);
+        // Scrutinee up to the `{` at depth 0.
+        let mut j = m_idx + 1;
+        let scrut_start = j;
+        let mut depth = 0i32;
+        while j < end {
+            match self.t(j) {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let scrut = (scrut_start, j);
+        self.push_range(cur, scrut_start, j);
+        let body_close = self.find_close(j, end);
+        let inner_end = body_close.saturating_sub(1).max(j + 1);
+        let after = self.new_block(BlockLabel::After(m_line));
+
+        // Arms: `<pat> => <expr-or-block>,`
+        let mut i = j + 1;
+        let mut any_arm = false;
+        while i < inner_end {
+            // Pattern tokens up to the `=>` at depth 0.
+            let pat_start = i;
+            let mut depth = 0i32;
+            let mut arrow = None;
+            let mut k = i;
+            while k < inner_end {
+                match self.t(k) {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    "=" if depth == 0 && self.t(k + 1) == ">" => {
+                        arrow = Some(k);
+                        break;
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            let Some(arrow) = arrow else { break };
+            // A guard (`Some(x) if c =>`) is part of the pattern tokens; the
+            // binding extractor stops at `if`.
+            let arm = self.new_block(BlockLabel::Arm(self.line(pat_start)));
+            self.edge(cur, arm);
+            any_arm = true;
+            if let Some((var, line, col)) = self.single_binding(pat_start, arrow) {
+                self.blocks[arm].stmts.push(Stmt::PatBind {
+                    var,
+                    line,
+                    col,
+                    scrut,
+                });
+            }
+            // Arm body: a braced block, or an expression up to the `,` at
+            // depth 0 (or the match's closing brace).
+            let body_start = arrow + 2;
+            let arm_end;
+            let next_i;
+            if self.t(body_start) == "{" {
+                let close = self.find_close(body_start, inner_end);
+                arm_end = self.walk(
+                    body_start + 1,
+                    close.saturating_sub(1).max(body_start + 1),
+                    arm,
+                );
+                next_i = if self.t(close) == "," {
+                    close + 1
+                } else {
+                    close
+                };
+            } else {
+                let mut d = 0i32;
+                let mut k = body_start;
+                while k < inner_end {
+                    match self.t(k) {
+                        "(" | "[" | "{" => d += 1,
+                        ")" | "]" | "}" => d -= 1,
+                        "," if d == 0 => break,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                arm_end = self.walk(body_start, k, arm);
+                next_i = (k + 1).min(inner_end);
+            }
+            self.edge(arm_end, after);
+            i = next_i;
+        }
+        if !any_arm {
+            self.edge(cur, after);
+        }
+        (body_close, after)
+    }
+
+    /// Parses `loop` / `while` / `while let` / `for`. Returns
+    /// `(index past the construct, after block)`.
+    fn parse_loop(&mut self, kw_idx: usize, end: usize, cur: usize) -> (usize, usize) {
+        let kw = self.t(kw_idx).to_string();
+        let line = self.line(kw_idx);
+        let head = self.new_block(BlockLabel::LoopHead(line));
+        self.edge(cur, head);
+
+        let mut j = kw_idx + 1;
+        let mut pat: Option<(String, u32, u32)> = None;
+        if kw == "while" && self.t(j) == "let" {
+            let mut k = j + 1;
+            let mut depth = 0i32;
+            let pat_start = k;
+            while k < end {
+                match self.t(k) {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "=" if depth == 0 && self.t(k + 1) != "=" => break,
+                    "{" if depth == 0 => break,
+                    _ => {}
+                }
+                k += 1;
+            }
+            pat = self.single_binding(pat_start, k);
+            j = k + 1;
+        } else if kw == "for" {
+            // Skip the pattern up to `in` (payload handles do not come out
+            // of iterators in this tree; the binding is deliberately not
+            // tracked).
+            let mut depth = 0i32;
+            while j < end {
+                let tx = self.t(j);
+                match tx {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "in" if depth == 0
+                        && self.f.code.get(j).map(|t| t.kind) == Some(TokKind::Ident) =>
+                    {
+                        j += 1;
+                        break;
+                    }
+                    "{" if depth == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        // Condition / iterator / scrutinee up to the body `{`.
+        let cond_start = j;
+        let mut depth = 0i32;
+        while j < end {
+            match self.t(j) {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let scrut = (cond_start, j);
+        self.push_range(head, cond_start, j);
+
+        let body_close = self.find_close(j, end);
+        let after = self.new_block(BlockLabel::After(line));
+        let body = self.new_block(BlockLabel::LoopBody(line));
+        self.edge(head, body);
+        if kw != "loop" {
+            // `while`/`for` exit when the condition fails; bare `loop` only
+            // exits through `break`/`return`.
+            self.edge(head, after);
+        }
+        if let Some((var, line, col)) = pat {
+            self.blocks[body].stmts.push(Stmt::PatBind {
+                var,
+                line,
+                col,
+                scrut,
+            });
+        }
+        self.loops.push((head, after));
+        let body_end = self.walk(j + 1, body_close.saturating_sub(1).max(j + 1), body);
+        self.loops.pop();
+        self.edge(body_end, head); // back edge
+        (body_close, after)
+    }
+
+    /// If the pattern tokens `[s, e)` bind exactly one identifier through a
+    /// transparent wrapper (`Some(x)`, `Ok(mut x)`, a bare `x`), returns it.
+    /// A guard (`if …`) ends the pattern. Multi-binding patterns return
+    /// `None` — the analysis refuses to guess.
+    fn single_binding(&self, s: usize, e: usize) -> Option<(String, u32, u32)> {
+        let mut idents: Vec<usize> = Vec::new();
+        let mut k = s;
+        while k < e {
+            let tok = self.f.code.get(k)?;
+            let tx = self.t(k);
+            if tx == "if" && tok.kind == TokKind::Ident {
+                break; // match guard
+            }
+            // Lowercase idents only: uppercase ones are variants/types
+            // (`None`, `OpKind`), not bindings.
+            if tok.kind == TokKind::Ident
+                && !matches!(tx, "mut" | "ref" | "_")
+                && tx
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_lowercase() || c == '_')
+            {
+                idents.push(k);
+            }
+            k += 1;
+        }
+        match idents[..] {
+            [one] => {
+                let tok = &self.f.code[one];
+                Some((self.t(one).to_string(), tok.line, tok.col))
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_file;
+
+    fn cfg_of(body: &str) -> (FileData, Cfg) {
+        let src = format!("fn f() {{\n{body}\n}}\n");
+        let f = parse_file("crates/core/src/x.rs", src);
+        let b = f.fns[0].body.unwrap();
+        let c = build(&f, b);
+        (f, c)
+    }
+
+    fn labels(c: &Cfg) -> Vec<BlockLabel> {
+        c.blocks.iter().map(|b| b.label).collect()
+    }
+
+    #[test]
+    fn straight_line_is_two_blocks_plus_exit_edge() {
+        let (_, c) = cfg_of("let a = 1;\nlet b = a + 2;");
+        assert_eq!(c.blocks.len(), 2);
+        assert_eq!(c.blocks[ENTRY].succs, vec![EXIT]);
+    }
+
+    #[test]
+    fn if_without_else_has_fallthrough_path() {
+        let (_, c) = cfg_of("if x {\n y();\n}\nz();");
+        let ls = labels(&c);
+        assert!(ls.contains(&BlockLabel::Then(2)));
+        assert!(ls.contains(&BlockLabel::ElseImplicit(2)));
+        // then and fall-through both reach the after block.
+        let after = ls
+            .iter()
+            .position(|l| matches!(l, BlockLabel::After(_)))
+            .unwrap();
+        let preds: Vec<usize> = (0..c.blocks.len())
+            .filter(|&b| c.blocks[b].succs.contains(&after))
+            .collect();
+        assert_eq!(preds.len(), 2);
+    }
+
+    #[test]
+    fn match_arms_each_get_a_block() {
+        let (_, c) = cfg_of("match v {\n Some(x) => a(x),\n None => b(),\n}");
+        let arms = c
+            .blocks
+            .iter()
+            .filter(|b| matches!(b.label, BlockLabel::Arm(_)))
+            .count();
+        assert_eq!(arms, 2);
+        let binds = c
+            .blocks
+            .iter()
+            .flat_map(|b| &b.stmts)
+            .filter(|s| matches!(s, Stmt::PatBind { var, .. } if var == "x"))
+            .count();
+        assert_eq!(binds, 1);
+    }
+
+    #[test]
+    fn loops_have_back_edges_and_exit() {
+        let (_, c) = cfg_of("while going {\n tick();\n}\ndone();");
+        let head = c
+            .blocks
+            .iter()
+            .position(|b| matches!(b.label, BlockLabel::LoopHead(_)))
+            .unwrap();
+        let body = c
+            .blocks
+            .iter()
+            .position(|b| matches!(b.label, BlockLabel::LoopBody(_)))
+            .unwrap();
+        assert!(c.blocks[head].succs.contains(&body));
+        assert!(c.blocks[body].succs.contains(&head), "back edge missing");
+    }
+
+    #[test]
+    fn return_and_question_mark_edge_to_exit() {
+        let (_, c) = cfg_of("if x {\n return 1;\n}\nlet v = fallible()?;\nv");
+        // The then-block must edge to EXIT (return), and some block carries
+        // the `?` may-exit edge.
+        let then = c
+            .blocks
+            .iter()
+            .position(|b| matches!(b.label, BlockLabel::Then(_)))
+            .unwrap();
+        assert!(c.blocks[then].succs.contains(&EXIT));
+        let exit_preds = (0..c.blocks.len())
+            .filter(|&b| c.blocks[b].succs.contains(&EXIT))
+            .count();
+        assert!(exit_preds >= 2, "return + ? + fall-off, got {exit_preds}");
+    }
+
+    #[test]
+    fn if_let_binds_in_then_block_only() {
+        let (_, c) = cfg_of("if let Some(v) = ring.take_value(seq) {\n use_it(v);\n}");
+        let then = c
+            .blocks
+            .iter()
+            .position(|b| matches!(b.label, BlockLabel::Then(_)))
+            .unwrap();
+        assert!(matches!(
+            &c.blocks[then].stmts[0],
+            Stmt::PatBind { var, .. } if var == "v"
+        ));
+    }
+
+    #[test]
+    fn break_edges_to_after_continue_to_head() {
+        let (_, c) = cfg_of("loop {\n if done {\n break;\n }\n work();\n}");
+        // bare `loop` head has no exit edge; `break` provides the only one.
+        let head = c
+            .blocks
+            .iter()
+            .position(|b| matches!(b.label, BlockLabel::LoopHead(_)))
+            .unwrap();
+        let after = c
+            .blocks
+            .iter()
+            .position(|b| matches!(b.label, BlockLabel::After(2)))
+            .unwrap();
+        assert!(!c.blocks[head].succs.contains(&after));
+        let break_reaches = (0..c.blocks.len()).any(|b| {
+            matches!(c.blocks[b].label, BlockLabel::Then(_)) && c.blocks[b].succs.contains(&after)
+        });
+        assert!(break_reaches);
+    }
+}

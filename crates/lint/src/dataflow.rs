@@ -1,0 +1,641 @@
+//! Intraprocedural linear-ownership dataflow for `PayloadRef` locals.
+//!
+//! The arena contract (`crates/sim/src/arena.rs`) is linear by convention:
+//! every handle minted by `alloc`/`dup` (or surrendered by
+//! `Ring::take_value`) must be consumed exactly once — `take` or `free` —
+//! or moved onward to the owner who will. The compiler cannot check this
+//! (`PayloadRef` is `Copy` so queues can hold it), so this module does: a
+//! forward *may*-analysis over the [`crate::cfg`] blocks of each function,
+//! tracking every payload binding through bind / move / consume edges and
+//! reporting
+//!
+//! * **leak-on-return-path** — some path from the binding reaches function
+//!   exit with the handle still owned (the classic "freed in one `if` arm,
+//!   forgot the other");
+//! * **double-consume** — a path on which `take`/`free` runs twice on the
+//!   same binding (including "once per loop iteration" on a loop-invariant
+//!   handle);
+//! * **consume-after-move** — the handle was moved into a queue/struct/call
+//!   and then *also* consumed locally, which double-frees once the new
+//!   owner consumes its copy.
+//!
+//! The lattice per variable is the powerset of {owned, consumed, moved}
+//! with union as join — facts only grow, the transfer is monotone, and the
+//! worklist reaches a fixpoint in a handful of passes. "May" is the right
+//! polarity for all three reports: a bug on *one* path is a bug. Reports
+//! carry the branch path that reaches the bad state (first witness wins,
+//! capped, deterministic).
+//!
+//! Event extraction is token-level and deliberately conservative:
+//!
+//! * a binding is tracked only when its initializer visibly mints a handle
+//!   (`…payloads.alloc(…)` / `…payloads.dup(…)`) or its pattern unwraps a
+//!   `take_value` scrutinee;
+//! * `payloads.take(x)` / `payloads.free(x)` consume; `payloads.get(x)` /
+//!   `payloads.dup(x)` / `x.field`-style receiver reads and comparisons do
+//!   not;
+//! * any other appearance of the variable is a move (into a call, a struct,
+//!   a container) — after which the local copy is dead;
+//! * closure parameters shadow outer names for the rest of their statement
+//!   run, so `.map(|v| m.payloads.dup(v))` never touches an outer `v`.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::cfg::{self, Stmt, ENTRY, EXIT};
+use crate::lexer::TokKind;
+use crate::parser::FileData;
+
+/// What went wrong with a binding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FindingKind {
+    LeakOnReturn,
+    DoubleConsume,
+    ConsumeAfterMove,
+}
+
+/// One ownership violation, positioned where the developer should look.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    pub line: u32,
+    pub col: u32,
+    pub kind: FindingKind,
+    pub message: String,
+}
+
+/// Per-variable dataflow facts (powerset lattice; `false`/`None` is bottom).
+#[derive(Clone, Debug, Default)]
+struct VarState {
+    bind_line: u32,
+    bind_col: u32,
+    /// Some path still owns the handle here.
+    owned: bool,
+    /// Branch decisions on the first-seen owning path (for the report).
+    path: Vec<String>,
+    /// Some path consumed it, first witness line.
+    consumed: Option<u32>,
+    /// Some path moved it onward, first witness line.
+    moved: Option<u32>,
+}
+
+type Env = BTreeMap<String, VarState>;
+
+/// The comparable projection of an env (witness text excluded, so path
+/// stamping cannot keep the fixpoint from converging).
+fn fingerprint(env: &Env) -> Vec<(String, bool, Option<u32>, Option<u32>)> {
+    env.iter()
+        .map(|(k, v)| (k.clone(), v.owned, v.consumed, v.moved))
+        .collect()
+}
+
+fn join_into(dst: &mut Env, src: &Env) {
+    for (k, s) in src {
+        match dst.get_mut(k) {
+            None => {
+                dst.insert(k.clone(), s.clone());
+            }
+            Some(d) => {
+                if !d.owned && s.owned {
+                    d.owned = true;
+                    d.path = s.path.clone();
+                }
+                d.consumed = match (d.consumed, s.consumed) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+                d.moved = match (d.moved, s.moved) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+            }
+        }
+    }
+}
+
+/// Runs the analysis over one function body.
+pub fn analyze_fn(f: &FileData, body: (usize, usize)) -> Vec<Finding> {
+    let cfg = cfg::build(f, body);
+    let events: Vec<Vec<Event>> = cfg
+        .blocks
+        .iter()
+        .map(|b| {
+            let mut ev = Vec::new();
+            for stmt in &b.stmts {
+                extract_events(f, stmt, &mut ev);
+            }
+            ev
+        })
+        .collect();
+
+    let mut in_env: Vec<Option<Env>> = vec![None; cfg.blocks.len()];
+    in_env[ENTRY] = Some(Env::new());
+    let mut work: VecDeque<usize> = VecDeque::from([ENTRY]);
+    let mut queued: BTreeSet<usize> = BTreeSet::from([ENTRY]);
+    let mut findings: BTreeSet<Finding> = BTreeSet::new();
+    // Fixpoint guard: |blocks| * |lattice height| passes is plenty; the cap
+    // only exists so a parser bug cannot hang the linter.
+    let mut budget = cfg.blocks.len() * 64 + 256;
+
+    while let Some(b) = work.pop_front() {
+        queued.remove(&b);
+        if budget == 0 {
+            break;
+        }
+        budget -= 1;
+        let Some(env_in) = in_env[b].clone() else {
+            continue;
+        };
+        let mut env = env_in;
+        for ev in &events[b] {
+            transfer(ev, &mut env, &mut findings);
+        }
+        for &s in &cfg.blocks[b].succs {
+            let mut flowed = env.clone();
+            // Stamp the branch decision onto every still-owned witness path.
+            if let Some(desc) = cfg.blocks[s].label.describe() {
+                for v in flowed.values_mut() {
+                    if v.owned && v.path.len() < 3 && v.path.last() != Some(&desc) {
+                        v.path.push(desc.clone());
+                    }
+                }
+            }
+            let changed = match &mut in_env[s] {
+                slot @ None => {
+                    *slot = Some(flowed);
+                    true
+                }
+                Some(cur) => {
+                    let before = fingerprint(cur);
+                    join_into(cur, &flowed);
+                    fingerprint(cur) != before
+                }
+            };
+            if changed && queued.insert(s) {
+                work.push_back(s);
+            }
+        }
+    }
+
+    // Leak check: anything still owned on some path into the exit block.
+    if let Some(exit_env) = &in_env[EXIT] {
+        for (name, v) in exit_env {
+            if v.owned {
+                let via = if v.path.is_empty() {
+                    String::new()
+                } else {
+                    format!(" via {}", v.path.join(" → "))
+                };
+                findings.insert(Finding {
+                    line: v.bind_line,
+                    col: v.bind_col,
+                    kind: FindingKind::LeakOnReturn,
+                    message: format!(
+                        "PayloadRef `{name}` bound here can reach function exit still \
+                         owned{via} — consume it (`take`/`free`) or move it on every path"
+                    ),
+                });
+            }
+        }
+    }
+    findings.into_iter().collect()
+}
+
+/// One ownership-relevant event, in statement order.
+#[derive(Debug)]
+enum Event {
+    /// `let x = …alloc/dup(…)` or a payload-bearing pattern binding.
+    Bind { var: String, line: u32, col: u32 },
+    /// `let x = …` of anything else, or a non-payload pattern binding:
+    /// shadows (kills) any tracked `x`.
+    Shadow { var: String },
+    /// `payloads.take(x)` / `payloads.free(x)`.
+    Consume {
+        var: String,
+        line: u32,
+        col: u32,
+        verb: &'static str,
+    },
+    /// Any other appearance of a name in value position.
+    Use { var: String, line: u32 },
+}
+
+fn transfer(ev: &Event, env: &mut Env, findings: &mut BTreeSet<Finding>) {
+    match ev {
+        Event::Bind { var, line, col } => {
+            env.insert(
+                var.clone(),
+                VarState {
+                    bind_line: *line,
+                    bind_col: *col,
+                    owned: true,
+                    ..VarState::default()
+                },
+            );
+        }
+        Event::Shadow { var } => {
+            env.remove(var);
+        }
+        Event::Consume {
+            var,
+            line,
+            col,
+            verb,
+        } => {
+            if let Some(st) = env.get_mut(var) {
+                if let Some(prev) = st.consumed {
+                    findings.insert(Finding {
+                        line: *line,
+                        col: *col,
+                        kind: FindingKind::DoubleConsume,
+                        message: format!(
+                            "PayloadRef `{var}` consumed again (`{verb}`) — a path already \
+                             consumed it at line {prev}"
+                        ),
+                    });
+                } else if let Some(prev) = st.moved {
+                    findings.insert(Finding {
+                        line: *line,
+                        col: *col,
+                        kind: FindingKind::ConsumeAfterMove,
+                        message: format!(
+                            "PayloadRef `{var}` consumed (`{verb}`) after being moved at \
+                             line {prev} — the new owner will consume it too"
+                        ),
+                    });
+                }
+                st.consumed.get_or_insert(*line);
+                st.owned = false;
+            }
+        }
+        Event::Use { var, line } => {
+            if let Some(st) = env.get_mut(var) {
+                st.owned = false;
+                st.moved.get_or_insert(*line);
+            }
+        }
+    }
+}
+
+/// Does the code range `[s, e)` visibly produce a payload handle?
+/// A mint *inside a closure* does not count — `.map(|v| payloads.dup(v))`
+/// builds a container of handles, not a single tracked binding.
+fn range_mints_payload(f: &FileData, s: usize, e: usize) -> bool {
+    let e = e.min(f.code.len());
+    for i in s..e {
+        if t(f, i) == "|" {
+            let prev = if i > s { t(f, i - 1) } else { "" };
+            if matches!(prev, "(" | "," | "=" | "{" | "" | "&") {
+                return false;
+            }
+        }
+        if t(f, i) == "payloads"
+            && t(f, i + 1) == "."
+            && matches!(t(f, i + 2), "alloc" | "dup")
+            && t(f, i + 3) == "("
+        {
+            return true;
+        }
+        if t(f, i) == "." && t(f, i + 1) == "take_value" && t(f, i + 2) == "(" {
+            return true;
+        }
+    }
+    false
+}
+
+fn t(f: &FileData, i: usize) -> &str {
+    f.code
+        .get(i)
+        .map(|tok| &f.src[tok.start..tok.end])
+        .unwrap_or("")
+}
+
+fn extract_events(f: &FileData, stmt: &Stmt, out: &mut Vec<Event>) {
+    let (s, e) = match stmt {
+        Stmt::PatBind {
+            var,
+            line,
+            col,
+            scrut,
+        } => {
+            if range_mints_payload(f, scrut.0, scrut.1) {
+                out.push(Event::Bind {
+                    var: var.clone(),
+                    line: *line,
+                    col: *col,
+                });
+            } else {
+                out.push(Event::Shadow { var: var.clone() });
+            }
+            return;
+        }
+        Stmt::Range(s, e) => (*s, (*e).min(f.code.len())),
+    };
+
+    // Names shadowed by closure parameters, until their statement ends.
+    let mut shadowed: BTreeSet<String> = BTreeSet::new();
+    // Token indices already claimed by a recognized pattern (no Use event).
+    let mut claimed: BTreeSet<usize> = BTreeSet::new();
+    let mut depth = 0i32;
+
+    let mut i = s;
+    while i < e {
+        let tok = &f.code[i];
+        if tok.kind != TokKind::Ident {
+            match t(f, i) {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                // Statement boundary: closure params do not outlive it.
+                ";" if depth <= 0 => shadowed.clear(),
+                _ => {}
+            }
+            // Closure params: `|a, b|` with the opening bar after `(`, `,`,
+            // `=` or another opener — never after a value (that would be
+            // bitwise/logical or).
+            if t(f, i) == "|" {
+                let prev = if i > s { t(f, i - 1) } else { "" };
+                if matches!(prev, "(" | "," | "=" | "{" | "" | "&") {
+                    let mut j = i + 1;
+                    while j < e && t(f, j) != "|" {
+                        if f.code[j].kind == TokKind::Ident && t(f, j) != "mut" {
+                            shadowed.insert(t(f, j).to_string());
+                        }
+                        j += 1;
+                    }
+                    i = (j + 1).min(e);
+                    continue;
+                }
+            }
+            i += 1;
+            continue;
+        }
+        let tx = t(f, i);
+
+        // `let [mut] name …` — classify the binding by its initializer.
+        if tx == "let" {
+            let mut j = i + 1;
+            if t(f, j) == "mut" {
+                j += 1;
+            }
+            let name_ok = f.code.get(j).map(|n| n.kind) == Some(TokKind::Ident)
+                && matches!(t(f, j + 1), "=" | ":");
+            if name_ok {
+                let name_tok = f.code[j].clone();
+                let name = t(f, j).to_string();
+                // Find `=` then the `;` at depth 0 (either may be absent if
+                // the statement was split across CFG blocks).
+                let mut depth = 0i32;
+                let mut k = j + 1;
+                let mut eq = None;
+                while k < e {
+                    match t(f, k) {
+                        "(" | "[" | "{" => depth += 1,
+                        ")" | "]" | "}" => depth -= 1,
+                        "=" if depth == 0 && eq.is_none() && t(f, k + 1) != "=" => eq = Some(k),
+                        ";" if depth == 0 => break,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                let minted = match eq {
+                    Some(eq) => range_mints_payload(f, eq + 1, k),
+                    None => false,
+                };
+                if !shadowed.contains(&name) {
+                    if minted {
+                        out.push(Event::Bind {
+                            var: name,
+                            line: name_tok.line,
+                            col: name_tok.col,
+                        });
+                    } else {
+                        out.push(Event::Shadow { var: name });
+                    }
+                }
+                claimed.insert(j);
+                // Keep scanning the initializer: it may consume/move other
+                // tracked names (`let v = payloads.take(r);`).
+                i = j + 1;
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+
+        // `payloads.<verb>(x)` — consume or read.
+        if tx == "payloads" && t(f, i + 1) == "." && t(f, i + 3) == "(" {
+            let verb = t(f, i + 2);
+            let arg_is_ident =
+                f.code.get(i + 4).map(|n| n.kind) == Some(TokKind::Ident) && t(f, i + 5) == ")";
+            if arg_is_ident {
+                let var = t(f, i + 4).to_string();
+                match verb {
+                    "take" | "free" => {
+                        if !shadowed.contains(&var) {
+                            let at = &f.code[i + 4];
+                            out.push(Event::Consume {
+                                var,
+                                line: at.line,
+                                col: at.col,
+                                verb: if verb == "take" { "take" } else { "free" },
+                            });
+                        }
+                        for d in 0..6 {
+                            claimed.insert(i + d);
+                        }
+                        i += 6;
+                        continue;
+                    }
+                    "get" | "dup" | "len" | "is_empty" | "live" => {
+                        // Reads: the handle stays owned.
+                        for d in 0..6 {
+                            claimed.insert(i + d);
+                        }
+                        i += 6;
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        // Everything else in value position is a potential move.
+        if !claimed.contains(&i) && !shadowed.contains(tx) && !is_read_position(f, s, i) {
+            out.push(Event::Use {
+                var: tx.to_string(),
+                line: tok.line,
+            });
+        }
+        i += 1;
+    }
+}
+
+/// Ident appearances that are *not* value uses of a local: path segments,
+/// field/method names, struct-literal field names, call names, receiver
+/// reads (`x.field`), comparison operands, and keywords-by-position.
+fn is_read_position(f: &FileData, range_start: usize, i: usize) -> bool {
+    let prev = if i > range_start { t(f, i - 1) } else { "" };
+    let prev2 = if i >= range_start + 2 {
+        t(f, i - 2)
+    } else {
+        ""
+    };
+    let next = t(f, i + 1);
+    let next2 = t(f, i + 2);
+    // Field access / method name / path segment (`a.x`, `A::x`).
+    if prev == "." || prev == ":" {
+        return true;
+    }
+    // Call or macro name / generic path head (`x(…)`, `x!`, `x::`).
+    if next == "(" || next == "!" || (next == ":" && next2 == ":") {
+        return true;
+    }
+    // Struct-literal / pattern field name (`X { x: … }`).
+    if next == ":" && next2 != ":" {
+        return true;
+    }
+    // Receiver of a field/method read keeps ownership (`x.len()`, `x.0`).
+    if next == "." {
+        return true;
+    }
+    // Comparison operand (`x == y`, `y != x`): a read, not a move.
+    if next == "=" && (next2 == "=" || prev.is_empty()) {
+        return true;
+    }
+    if prev == "=" && (prev2 == "=" || prev2 == "!") {
+        return true;
+    }
+    // `as` casts and annotations read the value.
+    if next == "as" {
+        return true;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_file;
+
+    fn run(body: &str) -> Vec<Finding> {
+        let src = format!("fn f(fate: bool) {{\n{body}\n}}\n");
+        let f = parse_file("crates/core/src/x.rs", src);
+        let b = f.fns[0].body.unwrap();
+        analyze_fn(&f, b)
+    }
+
+    fn kinds(fs: &[Finding]) -> Vec<FindingKind> {
+        fs.iter().map(|f| f.kind).collect()
+    }
+
+    #[test]
+    fn clean_alloc_free_is_silent() {
+        let fs = run("let r = self.payloads.alloc(vec![1]);\nself.payloads.free(r);");
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn leak_on_one_branch_is_reported_with_path() {
+        let fs =
+            run("let r = self.payloads.alloc(vec![1]);\nif fate {\n self.payloads.free(r);\n}");
+        assert_eq!(kinds(&fs), vec![FindingKind::LeakOnReturn], "{fs:?}");
+        assert!(fs[0].message.contains("fall-through"), "{}", fs[0].message);
+        assert_eq!(fs[0].line, 2); // points at the binding
+    }
+
+    #[test]
+    fn consume_on_both_branches_is_clean() {
+        let fs = run(
+            "let r = self.payloads.alloc(vec![1]);\nif fate {\n self.payloads.free(r);\n}\
+             \nelse {\n self.payloads.take(r);\n}",
+        );
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn double_take_is_reported() {
+        let fs = run(
+            "let r = self.payloads.alloc(vec![1]);\nlet a = self.payloads.take(r);\
+             \nlet b = self.payloads.take(r);",
+        );
+        assert_eq!(kinds(&fs), vec![FindingKind::DoubleConsume], "{fs:?}");
+        assert_eq!(fs[0].line, 4);
+    }
+
+    #[test]
+    fn consume_after_move_is_reported() {
+        let fs = run("let r = self.payloads.alloc(vec![1]);\nout.push(r);\nself.payloads.free(r);");
+        assert_eq!(kinds(&fs), vec![FindingKind::ConsumeAfterMove], "{fs:?}");
+    }
+
+    #[test]
+    fn move_out_is_not_a_leak() {
+        let fs = run("let r = self.payloads.alloc(vec![1]);\nself.ring.set_value(seq, r);");
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn early_return_leak_via_question_mark() {
+        let fs =
+            run("let r = self.payloads.alloc(vec![1]);\nself.flush()?;\nself.payloads.free(r);");
+        assert_eq!(kinds(&fs), vec![FindingKind::LeakOnReturn], "{fs:?}");
+    }
+
+    #[test]
+    fn if_let_take_value_binds_and_must_be_consumed() {
+        let fs = run("if let Some(v) = self.ring.take_value(seq) {\n let _n = v;\n}");
+        assert!(fs.is_empty(), "moved out — clean; got {fs:?}");
+        let fs = run("if let Some(v) = self.ring.take_value(seq) {\n self.count += 1;\n}");
+        assert_eq!(kinds(&fs), vec![FindingKind::LeakOnReturn], "{fs:?}");
+    }
+
+    #[test]
+    fn loop_invariant_consume_is_double_consume() {
+        let fs = run(
+            "let r = self.payloads.alloc(vec![1]);\nfor x in 0..n {\n self.payloads.free(r);\n}",
+        );
+        assert!(kinds(&fs).contains(&FindingKind::DoubleConsume), "{fs:?}");
+    }
+
+    #[test]
+    fn rebind_inside_loop_is_clean() {
+        let fs = run("while let Some(v) = self.ring.take_value(seq) {\n self.payloads.free(v);\n}");
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn closure_params_shadow_outer_names() {
+        let fs = run("let v = self.payloads.alloc(vec![1]);\
+             \nlet copies: Vec<_> = items.iter().map(|v| m.payloads.dup(v)).collect();\
+             \nself.payloads.free(v);");
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn dup_and_get_are_reads_not_consumes() {
+        let fs = run(
+            "let r = self.payloads.alloc(vec![1]);\nlet d = self.payloads.dup(r);\
+             \nlet n = self.payloads.get(r).len();\nself.payloads.free(r);\nself.payloads.free(d);",
+        );
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn match_arm_binding_tracks_per_arm() {
+        let fs = run(
+            "match self.ring.take_value(seq) {\n Some(v) => {\n self.payloads.free(v);\n }\
+             \n None => {}\n}",
+        );
+        assert!(fs.is_empty(), "{fs:?}");
+        let fs = run(
+            "match self.ring.take_value(seq) {\n Some(v) => {\n let _x = 1;\n }\n None => {}\n}",
+        );
+        assert_eq!(kinds(&fs), vec![FindingKind::LeakOnReturn], "{fs:?}");
+    }
+
+    #[test]
+    fn comparison_is_not_a_move() {
+        let fs = run(
+            "let r = self.payloads.alloc(vec![1]);\nif r == other {\n}\nself.payloads.free(r);",
+        );
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+}

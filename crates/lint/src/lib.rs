@@ -16,6 +16,14 @@
 //! | R3 | `payload-linearity` | `PayloadRef` flows only through the arena verbs |
 //! | R4 | `metrics-schema` | registry names come from the pinned schema |
 //! | R5 | `unsafe-audit` | `unsafe` in concurrency files carries `// SAFETY:` |
+//! | R6 | `counter-arithmetic` | windowed counter deltas use `saturating_sub`/`checked_sub` |
+//!
+//! Since PR 10 the engine is interprocedural: R1 consults a workspace
+//! [`callgraph`] (blocking calls at *any* depth below `Stage::step` are
+//! flagged, with the call chain in the report) and R3 runs a per-function
+//! linear-ownership [`dataflow`] over the [`cfg`] it recovers from the token
+//! stream (leaks, double-consumes and consume-after-move on `PayloadRef`
+//! locals, with the offending branch path).
 //!
 //! Suppression is per line and audited:
 //! `// utps-lint: allow(<rule>) — <justification>` (a directive without a
@@ -23,6 +31,9 @@
 //! — same precedent as the in-repo `proptest` shim — so it runs in the
 //! hermetic build environments the workspace targets.
 
+pub mod callgraph;
+pub mod cfg;
+pub mod dataflow;
 pub mod lexer;
 pub mod parser;
 pub mod rules;
@@ -96,6 +107,11 @@ pub const RULES: &[(&str, &str, &str)] = &[
         "unsafe-audit",
         "unsafe blocks in concurrency-critical files need a // SAFETY: comment",
     ),
+    (
+        "R6",
+        "counter-arithmetic",
+        "windowed deltas over unsigned counters use saturating_sub/checked_sub, not bare -",
+    ),
     ("A0", "allow-audit", "allow directives need a justification"),
 ];
 
@@ -115,6 +131,7 @@ pub fn lint_files(ws: &LintWorkspace) -> Vec<Violation> {
     rules::r3_payload::check(ws, &mut raw);
     rules::r4_metrics::check(ws, &mut raw);
     rules::r5_safety::check(ws, &mut raw);
+    rules::r6_counters::check(ws, &mut raw);
 
     let mut out: Vec<Violation> = raw
         .into_iter()
@@ -218,7 +235,10 @@ fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io:
 }
 
 /// Renders violations as deterministic JSON (sorted input order preserved).
-pub fn to_json(violations: &[Violation], files_scanned: usize) -> String {
+/// `wall_ms` is the lint run's wall-clock in milliseconds; it is the one
+/// intentionally nondeterministic field (CI perf visibility — consumers
+/// comparing reports normalize it away).
+pub fn to_json(violations: &[Violation], files_scanned: usize, wall_ms: u128) -> String {
     let mut s = String::from("{\"violations\":[");
     for (i, v) in violations.iter().enumerate() {
         if i > 0 {
@@ -236,8 +256,9 @@ pub fn to_json(violations: &[Violation], files_scanned: usize) -> String {
         ));
     }
     s.push_str(&format!(
-        "],\"files_scanned\":{},\"clean\":{}}}",
+        "],\"files_scanned\":{},\"wall_ms\":{},\"clean\":{}}}",
         files_scanned,
+        wall_ms,
         violations.is_empty()
     ));
     s

@@ -54,10 +54,15 @@ fn main() -> ExitCode {
         },
     };
 
+    let started = std::time::Instant::now();
     match utps_lint::lint_root(&root) {
         Ok((ws, violations)) => {
+            let wall_ms = started.elapsed().as_millis();
             if json {
-                println!("{}", utps_lint::to_json(&violations, ws.files.len()));
+                println!(
+                    "{}",
+                    utps_lint::to_json(&violations, ws.files.len(), wall_ms)
+                );
             } else if violations.is_empty() {
                 println!(
                     "utps-lint: clean — {} files, {} rules",

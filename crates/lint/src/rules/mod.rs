@@ -7,6 +7,7 @@ pub mod r2_determinism;
 pub mod r3_payload;
 pub mod r4_metrics;
 pub mod r5_safety;
+pub mod r6_counters;
 
 use crate::lexer::Token;
 use crate::parser::FileData;

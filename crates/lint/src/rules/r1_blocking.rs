@@ -1,6 +1,6 @@
 //! R1 `no-blocking-in-stage`: nothing that blocks a real OS thread — and no
 //! syscall-ish std I/O — may be reachable from a `Stage::step`
-//! implementation.
+//! implementation, at *any* call depth.
 //!
 //! `Stage::step` is the paper's non-preemptive NP-TPS contract (§3): a stage
 //! runs to its next yield point and *returns*; the engine owns the core. A
@@ -10,12 +10,15 @@
 //! `OptLock`) charges its cost through `Ctx` and is fine; it is the *std*
 //! blocking vocabulary this rule bans.
 //!
-//! Reach is the step body itself plus a one-level call graph: functions the
-//! step calls directly, resolved within the workspace (`Type::f` by impl
-//! owner, bare `f(...)` and `.f(...)` within the caller's crate).
+//! Reach is computed on the workspace [`CallGraph`](crate::callgraph): a
+//! cycle-safe BFS from every `Stage::step` impl, so a blocking call three
+//! helpers down is exactly as visible as one in the step body — and the
+//! report prints the chain that gets there
+//! (`reachable via CrStage::step → drain → retire`).
 
+use crate::callgraph::CallGraph;
 use crate::lexer::TokKind;
-use crate::parser::{calls_in, Call, FileData};
+use crate::parser::FileData;
 use crate::rules::{report, seq, t};
 use crate::{LintWorkspace, Violation};
 
@@ -47,90 +50,51 @@ const PRINT_MACROS: &[&str] = &["println", "print", "eprintln", "eprint", "dbg"]
 const PARKING_METHODS: &[&str] = &["lock", "join", "recv"];
 
 pub fn check(ws: &LintWorkspace, out: &mut Vec<Violation>) {
+    let cg = CallGraph::build(ws);
     let mut found: Vec<Violation> = Vec::new();
-    for f in &ws.files {
-        if f.path_is_test {
-            continue;
-        }
-        for item in &f.fns {
-            if item.is_test || item.name != "step" || item.trait_name.as_deref() != Some("Stage") {
-                continue;
-            }
-            let Some((body_s, body_e)) = item.body else {
-                continue;
-            };
-            let stage = item.owner.clone().unwrap_or_else(|| "?".into());
-            let origin = format!("`{stage}::step` ({}:{})", f.path, item.line);
 
-            scan_fn(f, body_s, body_e, &format!("in {origin}"), &mut found);
-
-            // One-level call graph: every function the step calls directly.
-            let caller_crate = LintWorkspace::crate_of(&f.path);
-            let mut calls = calls_in(&f.src, &f.code, body_s, body_e);
-            calls.dedup_by(|a, b| a.name == b.name && a.qualifier == b.qualifier);
-            let mut visited: Vec<(usize, usize)> = Vec::new();
-            for call in &calls {
-                for (fi, ii) in resolve(ws, caller_crate, call) {
-                    if visited.contains(&(fi, ii)) {
-                        continue;
-                    }
-                    visited.push((fi, ii));
-                    let cf = &ws.files[fi];
-                    let citem = &cf.fns[ii];
-                    if citem.line == item.line && cf.path == f.path {
-                        continue; // the step itself
-                    }
-                    if let Some((s, e)) = citem.body {
-                        scan_fn(
-                            cf,
-                            s,
-                            e,
-                            &format!("in `{}` (reachable from {origin})", citem.name),
-                            &mut found,
-                        );
-                    }
-                }
-            }
-        }
-    }
-    // The same helper can be reachable from several stages; report each
-    // offending token once.
-    found.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.col == b.col);
-    out.append(&mut found);
-}
-
-/// Resolves a call site to candidate workspace functions. Over-approximation
-/// is bounded: a name matching more than 8 definitions is considered too
-/// ambiguous to chase and is skipped.
-fn resolve(ws: &LintWorkspace, caller_crate: &str, call: &Call) -> Vec<(usize, usize)> {
-    let mut hits = Vec::new();
     for (fi, f) in ws.files.iter().enumerate() {
         if f.path_is_test {
             continue;
         }
         for (ii, item) in f.fns.iter().enumerate() {
-            if item.is_test || item.body.is_none() || item.name != call.name {
+            if item.is_test || item.name != "step" || item.trait_name.as_deref() != Some("Stage") {
                 continue;
             }
-            let same_crate = LintWorkspace::crate_of(&f.path) == caller_crate;
-            let matched = match &call.qualifier {
-                // `T::f(...)` — match by impl owner anywhere in the
-                // workspace (types cross crate boundaries).
-                Some(q) => item.owner.as_deref() == Some(q.as_str()),
-                // `.f(...)` — methods named f in the caller's crate.
-                None if call.is_method => same_crate && item.owner.is_some(),
-                // bare `f(...)` — free functions in the caller's crate.
-                None => same_crate && item.owner.is_none(),
+            let stage = item.owner.clone().unwrap_or_else(|| "?".into());
+            let origin = format!("`{stage}::step` ({}:{})", f.path, item.line);
+            let Some(start) = cg.id_of((fi, ii)) else {
+                continue; // bodyless declaration
             };
-            if matched {
-                hits.push((fi, ii));
+            let reach = cg.reachable(start);
+            for &node in &reach.order {
+                let (cfi, cii) = cg.nodes[node];
+                let cf = &ws.files[cfi];
+                let (s, e) = cf.fns[cii].body.expect("graph nodes have bodies");
+                let ctx = if node == start {
+                    format!("in {origin}")
+                } else {
+                    let chain: Vec<String> = reach
+                        .chain(&cg, ws, node)
+                        .iter()
+                        .map(|step| step.label.clone())
+                        .collect();
+                    format!(
+                        "reachable from {origin} via {} (depth {})",
+                        chain.join(" → "),
+                        chain.len() - 1
+                    )
+                };
+                scan_fn(cf, s, e, &ctx, &mut found);
             }
         }
     }
-    if hits.len() > 8 {
-        hits.clear();
-    }
-    hits
+    // The same helper can be reachable from several stages; report each
+    // offending token once (first chain wins — reports stay deterministic
+    // because stages are visited in file order).
+    found.sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
+    found.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.col == b.col);
+    out.append(&mut found);
 }
 
 /// Scans one function body for the blocking vocabulary.

@@ -16,10 +16,19 @@
 //! * `.clone()` on payload-carrying expressions (`value`, `payload`,
 //!   `payloads`, `read_buf` chains).
 //!
+//! On top of the verb vocabulary, every non-test function in these files now
+//! runs the [`crate::dataflow`] linear-ownership analysis: each payload
+//! binding (`alloc`/`dup`/`take_value` unwrap) is tracked through the
+//! function's CFG, and a leak-on-return-path, double-consume, or
+//! consume-after-move is reported at the exact `file:line:col` with the
+//! branch path that reaches the bad state. The verb checks catch "you
+//! copied"; the dataflow catches "you lost or double-spent the handle".
+//!
 //! This rule subsumes the old `tests/hot_path_no_copy.rs` grep test, with
 //! spans instead of substring matches (a `value.clone()` in a comment no
 //! longer counts, and `let to_vec = ...` cannot dodge it).
 
+use crate::dataflow;
 use crate::rules::{report, t};
 use crate::{LintWorkspace, Violation};
 
@@ -48,6 +57,26 @@ pub fn check(ws: &LintWorkspace, out: &mut Vec<Violation>) {
     for f in &ws.files {
         if !HOT_PATH_FILES.contains(&f.path.as_str()) {
             continue;
+        }
+        // Linear-ownership dataflow per function.
+        for item in &f.fns {
+            if item.is_test || f.is_test_line(item.line) {
+                continue;
+            }
+            let Some(body) = item.body else { continue };
+            for finding in dataflow::analyze_fn(f, body) {
+                if f.is_test_line(finding.line) {
+                    continue;
+                }
+                out.push(Violation {
+                    rule_code: RULE.0,
+                    rule_id: RULE.1,
+                    file: f.path.clone(),
+                    line: finding.line,
+                    col: finding.col,
+                    message: finding.message,
+                });
+            }
         }
         for i in 0..f.code.len() {
             let tok = &f.code[i];

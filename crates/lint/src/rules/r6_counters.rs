@@ -1,0 +1,297 @@
+//! R6 `counter-arithmetic`: windowed deltas over unsigned counters must not
+//! use bare `-`/`-=`.
+//!
+//! The bug class shipped for real in PR 7: the cluster tuner computed
+//! `served[s] - self.last_served[s]` over `u64` totals, and a stats reset
+//! (or a migrated shard arriving with a fresher snapshot than the tuner's
+//! `last_*` memory) made the subtrahend *larger* — instant wrap to ~2^64
+//! and a throughput spike that steered migration. Every windowed-rate
+//! computation over monotonic counters has the same failure shape, so this
+//! rule mechanizes it: inside counter-bearing files (tuner, metrics, stats,
+//! router, experiment reporting), a binary `-` or `-=` whose left-hand side
+//! is a counter value must be `saturating_sub`/`checked_sub` instead.
+//!
+//! "Is a counter value" is a two-step taint:
+//!
+//! * **sources** — identifiers whose names carry the counter vocabulary
+//!   (`*total*`, `*served*`, `*completed*`, `*issued*`, `*inflight*`,
+//!   `last_*`/`prev*`/`start_*` snapshots, `*_count`);
+//! * **propagation** — a `let x = <expr>` whose initializer mentions a
+//!   source taints `x` (two passes, so loop-carried `let cur = …` bindings
+//!   settle); an initializer that visibly leaves the unsigned domain
+//!   (`as f64`, a float literal) kills the taint, because float subtraction
+//!   cannot wrap.
+//!
+//! The sink test looks only at the *minuend* (the `-=` target): unsigned
+//! subtraction wraps when the subtrahend exceeds the minuend, so a counter
+//! on the left is the signature regardless of what is subtracted.
+//! `saturating_sub`/`checked_sub`/`wrapping_sub` are method calls, never
+//! `-` tokens, so the blessed forms pass without special-casing.
+
+use crate::lexer::TokKind;
+use crate::parser::FileData;
+use crate::rules::{report, t};
+use crate::{LintWorkspace, Violation};
+
+use std::collections::BTreeSet;
+
+const RULE: (&str, &str) = ("R6", "counter-arithmetic");
+
+/// File-name stems this rule audits: where counters, windowed stats and
+/// telemetry deltas live.
+const COUNTER_FILES: &[&str] = &[
+    "tuner.rs",
+    "metrics.rs",
+    "stats.rs",
+    "router.rs",
+    "experiment.rs",
+    "history.rs",
+];
+
+/// Does this identifier name a monotonic-counter-ish value?
+fn is_counter_name(name: &str) -> bool {
+    let n = name.to_ascii_lowercase();
+    n.contains("total")
+        || n.contains("served")
+        || n.contains("completed")
+        || n.contains("issued")
+        || n.contains("inflight")
+        || n.ends_with("_count")
+        || n == "count"
+        || n.starts_with("last_")
+        || n.starts_with("prev")
+        || n.starts_with("start_")
+}
+
+pub fn check(ws: &LintWorkspace, out: &mut Vec<Violation>) {
+    for f in &ws.files {
+        let stem = f.path.rsplit('/').next().unwrap_or("");
+        if !COUNTER_FILES.contains(&stem) {
+            continue;
+        }
+        let tainted = local_taint(f);
+        let hot = |name: &str| is_counter_name(name) || tainted.contains(name);
+
+        for i in 0..f.code.len() {
+            if t(f, i) != "-" {
+                continue;
+            }
+            let tok = &f.code[i];
+            if f.is_test_line(tok.line) {
+                continue;
+            }
+            // Binary only: the previous token must end a value. `->` is an
+            // arrow, `- x` after an operator/opener is unary negation.
+            let binary = i > 0
+                && (matches!(f.code[i - 1].kind, TokKind::Ident | TokKind::Number)
+                    || matches!(t(f, i - 1), ")" | "]"));
+            if !binary || t(f, i + 1) == ">" {
+                continue;
+            }
+            let compound = t(f, i + 1) == "=";
+            // Pure literal arithmetic (`64 - 1`) cannot involve a counter.
+            if f.code[i - 1].kind == TokKind::Number {
+                continue;
+            }
+            let minuend = minuend_idents(f, i);
+            let Some(name) = minuend.iter().find(|n| hot(n)) else {
+                continue;
+            };
+            let op = if compound { "-=" } else { "-" };
+            out.push(report(
+                RULE,
+                f,
+                tok,
+                format!(
+                    "bare `{op}` with counter `{name}` as the minuend can wrap on \
+                     reset/migration — use `saturating_sub` or `checked_sub`"
+                ),
+            ));
+        }
+    }
+}
+
+/// Local names tainted as counters by their initializers. Two passes so a
+/// binding that reads an already-tainted local (in any order) settles.
+fn local_taint(f: &FileData) -> BTreeSet<String> {
+    let mut tainted: BTreeSet<String> = BTreeSet::new();
+    for _pass in 0..2 {
+        let mut i = 0;
+        while i < f.code.len() {
+            if t(f, i) != "let" || f.code[i].kind != TokKind::Ident {
+                i += 1;
+                continue;
+            }
+            let mut j = i + 1;
+            if t(f, j) == "mut" {
+                j += 1;
+            }
+            if f.code.get(j).map(|n| n.kind) != Some(TokKind::Ident) {
+                i += 1;
+                continue;
+            }
+            let name = t(f, j).to_string();
+            // Initializer: `=` … `;` at depth 0.
+            let mut depth = 0i32;
+            let mut k = j + 1;
+            let mut eq = None;
+            let mut any_counter = false;
+            let mut float_kill = false;
+            while k < f.code.len() {
+                let tx = t(f, k);
+                match tx {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => {
+                        if depth == 0 {
+                            break;
+                        }
+                        depth -= 1;
+                    }
+                    "=" if depth == 0 && eq.is_none() && t(f, k + 1) != "=" => eq = Some(k),
+                    ";" if depth == 0 => break,
+                    _ if eq.is_some() => {
+                        if f.code[k].kind == TokKind::Ident
+                            && (is_counter_name(tx) || tainted.contains(tx))
+                        {
+                            any_counter = true;
+                        }
+                        // Leaving the unsigned domain kills the taint.
+                        if (tx == "as" && matches!(t(f, k + 1), "f64" | "f32"))
+                            || (f.code[k].kind == TokKind::Number && tx.contains('.'))
+                        {
+                            float_kill = true;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            if any_counter && !float_kill {
+                tainted.insert(name);
+            }
+            i = j + 1;
+        }
+    }
+    tainted
+}
+
+/// Identifiers of the postfix chain that forms the minuend ending just
+/// before the `-` at code index `minus`: for `self.metrics.completed_total()
+/// - x` it collects `completed_total`, `metrics`. Bounded.
+fn minuend_idents(f: &FileData, minus: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut j = minus as isize - 1;
+    let mut budget = 40;
+    while j >= 0 && budget > 0 {
+        budget -= 1;
+        let tx = t(f, j as usize);
+        match tx {
+            ")" | "]" => {
+                let (open, close) = if tx == ")" { ("(", ")") } else { ("[", "]") };
+                let mut depth = 0;
+                while j >= 0 && budget > 0 {
+                    budget -= 1;
+                    let inner = t(f, j as usize);
+                    if inner == close {
+                        depth += 1;
+                    } else if inner == open {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    j -= 1;
+                }
+                j -= 1;
+            }
+            "." | ":" | "?" => j -= 1,
+            _ if f
+                .code
+                .get(j as usize)
+                .is_some_and(|k| k.kind == TokKind::Ident) =>
+            {
+                out.push(tx.to_string());
+                match t(f, (j - 1).max(0) as usize) {
+                    "." | ":" => j -= 1,
+                    _ => break,
+                }
+            }
+            _ => break,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_file;
+
+    fn lint(src: &str) -> Vec<Violation> {
+        let f = parse_file("crates/core/src/tuner.rs", src.to_string());
+        let ws = LintWorkspace { files: vec![f] };
+        let mut out = Vec::new();
+        check(&ws, &mut out);
+        out
+    }
+
+    #[test]
+    fn bare_sub_on_counter_fires() {
+        let v = lint("fn w(&self) -> u64 {\n self.total - self.last_total\n}");
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("total"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn saturating_sub_passes() {
+        let v = lint("fn w(&self) -> u64 {\n self.total.saturating_sub(self.last_total)\n}");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn compound_minus_on_gauge_fires() {
+        let v = lint("fn done(&mut self) {\n self.inflight -= 1;\n}");
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("-="), "{}", v[0].message);
+    }
+
+    #[test]
+    fn taint_propagates_through_locals() {
+        let v =
+            lint("fn w(&self) -> u64 {\n let cur = self.completed_total();\n cur - self.base\n}");
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn float_conversion_kills_taint() {
+        let v =
+            lint("fn rate(&self) -> f64 {\n let tp = self.total as f64;\n tp - self.smoothed\n}");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn unary_minus_and_arrows_ignored() {
+        let v = lint("fn w(&self) -> i64 {\n let x = -(self.total as i64);\n x\n}");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn non_counter_subtraction_ignored() {
+        let v = lint("fn w(&self, len: usize) -> usize {\n len - 1\n}");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn literal_minuend_ignored() {
+        let v = lint("fn w(&self) -> u64 {\n 100 - self.total\n}");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let v = lint(
+            "#[cfg(test)]\nmod tests {\n fn t(total: u64, prev: u64) -> u64 {\n total - prev\n }\n}",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

@@ -1,0 +1,21 @@
+// R3 dataflow fixture: the same handle is taken twice — fault
+// redelivery must `dup`, not double-consume.
+
+pub struct Arena;
+
+impl Arena {
+    pub fn alloc(&mut self, _bytes: Vec<u8>) -> u32 {
+        0
+    }
+
+    pub fn take(&mut self, _r: u32) -> Vec<u8> {
+        Vec::new()
+    }
+}
+
+pub fn redeliver(payloads: &mut Arena) -> (Vec<u8>, Vec<u8>) {
+    let r = payloads.alloc(vec![7]);
+    let first = payloads.take(r);
+    let second = payloads.take(r);
+    (first, second)
+}

@@ -1,0 +1,24 @@
+// R3 dataflow fixture: the payload handle is freed on the delivered
+// branch only — the drop-fate branch leaks it.
+
+pub struct Arena {
+    pub live: usize,
+}
+
+impl Arena {
+    pub fn alloc(&mut self, _bytes: Vec<u8>) -> u32 {
+        self.live += 1;
+        0
+    }
+
+    pub fn free(&mut self, _r: u32) {
+        self.live -= 1;
+    }
+}
+
+pub fn deliver(payloads: &mut Arena, delivered: bool) {
+    let r = payloads.alloc(vec![9]);
+    if delivered {
+        payloads.free(r);
+    }
+}

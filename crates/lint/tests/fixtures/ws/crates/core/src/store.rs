@@ -1,0 +1,18 @@
+// R3 dataflow fixture: the handle is moved into the outbound queue and
+// then also freed locally — the queue's owner will consume it again.
+
+pub struct Arena;
+
+impl Arena {
+    pub fn alloc(&mut self, _bytes: Vec<u8>) -> u32 {
+        0
+    }
+
+    pub fn free(&mut self, _r: u32) {}
+}
+
+pub fn stash(payloads: &mut Arena, out: &mut Vec<u32>) {
+    let r = payloads.alloc(vec![3]);
+    out.push(r);
+    payloads.free(r);
+}

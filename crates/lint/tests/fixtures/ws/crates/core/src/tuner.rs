@@ -1,0 +1,11 @@
+// R6 fixture: windowed delta over a monotonic counter with bare `-` —
+// after a stats reset the subtrahend is larger and the u64 wraps.
+
+pub struct Window {
+    pub served: u64,
+    pub last_served: u64,
+}
+
+pub fn window_rate(w: &Window) -> u64 {
+    w.served - w.last_served
+}

@@ -7,11 +7,14 @@
 //! tokens and allow directives instead of raw substrings.
 
 use std::path::Path;
+use std::time::Instant;
 
 #[test]
 fn workspace_is_lint_clean() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let started = Instant::now();
     let (ws, violations) = utps_lint::lint_root(root).expect("lint walk failed");
+    let wall = started.elapsed();
     assert!(
         ws.files.len() > 80,
         "suspiciously few files scanned ({}); walk broken?",
@@ -25,5 +28,14 @@ fn workspace_is_lint_clean() {
             .map(utps_lint::render_human)
             .collect::<Vec<_>>()
             .join("\n")
+    );
+    // The interprocedural pass (call graph + per-function dataflow) must
+    // stay cheap enough to live in the default CI lint job. 5 s is ~20x the
+    // observed cost on this tree — tripping it means something regressed
+    // algorithmically, not that CI had a slow day.
+    assert!(
+        wall.as_secs_f64() < 5.0,
+        "lint run took {:.2?}; the interprocedural analyses must stay under 5 s",
+        wall
     );
 }
